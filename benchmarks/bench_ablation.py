@@ -1,0 +1,125 @@
+"""Ablations — what each ingredient of the method buys.
+
+DESIGN.md calls out three design choices; each is switched off in turn:
+
+* signature families (weights / VIC / INC / primes) gating and refining
+  the search — measured by search nodes explored;
+* symmetry pruning collapsing interchangeable variables;
+* the enhanced (Weisfeiler-Lehman) incidence refinement vs the paper's
+  static signatures — measured on the Table 1/2 hard circuits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+import pytest
+
+from _report import emit, emit_header
+from repro.benchcircuits import build_circuit
+from repro.boolfunc import ops
+from repro.boolfunc.transform import NpnTransform, random_equivalent_pair
+from repro.core.differentiate import differentiate_circuit
+from repro.core.matcher import MatchOptions, match_with_stats
+
+ABLATIONS: List[Tuple[str, MatchOptions]] = [
+    ("full method", MatchOptions()),
+    ("no symmetry pruning", MatchOptions(use_symmetry_pruning=False)),
+    ("no incidence refinement", MatchOptions(use_incidence_refinement=False)),
+    ("no prime signatures", MatchOptions(signature_families=("weights", "vic", "inc"))),
+    ("no vic signatures", MatchOptions(signature_families=("weights", "inc", "primes"))),
+    ("weights only", MatchOptions(signature_families=("weights",))),
+    ("no signature gate", MatchOptions(use_function_signature_gate=False)),
+]
+
+
+def _workload(seed: int = 13):
+    """Pairs engineered so that individual ingredients carry weight.
+
+    Random functions are separated by cofactor weights alone, so the
+    stress cases are *structured*: repeated sub-blocks (identical weight
+    pairs everywhere), symmetric functions, and selector logic.
+    """
+    rng = random.Random(seed)
+    pairs = [random_equivalent_pair(7, rng)[:2] for _ in range(6)]
+
+    def scrambled(f):
+        return (f, NpnTransform.random(f.n, rng).apply(f))
+
+    # XOR of disjoint ANDs: every variable has the same weight pair.
+    from repro.boolfunc.truthtable import TruthTable
+
+    x = [TruthTable.var(8, i) for i in range(8)]
+    xor_of_ands = (x[0] & x[1]) ^ (x[2] & x[3]) ^ (x[4] & x[5]) ^ (x[6] & x[7])
+    pairs.append(scrambled(xor_of_ands))
+    # Same but with one OR block breaking the uniformity only in INC.
+    mixed = (x[0] & x[1]) ^ (x[2] & x[3]) ^ (x[4] & x[5] & x[6]) ^ x[7]
+    pairs.append(scrambled(mixed))
+    pairs.append(scrambled(ops.majority(7)))
+    sel = build_circuit("cm151a").outputs[0].table
+    pairs.append(scrambled(sel))
+    return pairs
+
+
+@pytest.mark.parametrize("label,options", ABLATIONS, ids=[a[0] for a in ABLATIONS])
+def test_matcher_ablation(benchmark, label, options):
+    pairs = _workload()
+
+    def run():
+        nodes = 0
+        for f, g in pairs:
+            out = match_with_stats(f, g, options)
+            assert out.transform is not None
+            nodes += out.stats.search_nodes
+        return nodes
+
+    benchmark(run)
+
+
+def test_ablation_node_table(benchmark):
+    pairs = _workload()
+
+    def run():
+        rows = []
+        for label, options in ABLATIONS:
+            nodes = leaves = 0
+            for f, g in pairs:
+                out = match_with_stats(f, g, options)
+                assert out.transform is not None
+                nodes += out.stats.search_nodes
+                leaves += out.stats.leaf_checks
+            rows.append((label, nodes, leaves))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_header("Matcher ablation — search nodes over the structured workload")
+    emit(f"{'configuration':<26} {'nodes':>8} {'leaf checks':>12}")
+    baseline = rows[0][1]
+    for label, nodes, leaves in rows:
+        emit(f"{label:<26} {nodes:>8} {leaves:>12}  ({nodes / baseline:.2f}x)")
+    # The weights-only configuration (no GRM-derived signatures at all)
+    # must pay visibly more search than the full method.
+    weights_only = next(nodes for label, nodes, _ in rows if label == "weights only")
+    assert weights_only >= baseline
+
+
+def test_differentiation_mode_ablation(benchmark):
+    """Paper-fidelity static signatures vs the enhanced WL refinement."""
+    names = ["cm150a", "cm151a", "t481", "duke2", "misex3c", "pm1"]
+
+    def run():
+        rows = []
+        for name in names:
+            c = build_circuit(name)
+            paper = differentiate_circuit(c.name, c.n_inputs, c.output_pairs(), mode="paper")
+            enh = differentiate_circuit(c.name, c.n_inputs, c.output_pairs(), mode="enhanced")
+            rows.append((name, paper.hard_outputs, enh.hard_outputs))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_header("Differentiation ablation — hard outputs, paper vs enhanced signatures")
+    emit(f"{'circuit':<10} {'paper #h':>9} {'enhanced #h':>12}")
+    for name, ph, eh in rows:
+        emit(f"{name:<10} {ph:>9} {eh:>12}")
+        assert eh <= ph  # the enhancement only removes hardness

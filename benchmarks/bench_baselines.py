@@ -1,0 +1,165 @@
+"""Comparison — GRM matcher vs exhaustive and signature-only baselines.
+
+The reproduction bands ask for the "who wins, by what factor" shape:
+
+* the exhaustive canonicalizer explodes factorially, so the GRM matcher
+  overtakes it by n ≈ 5 and the gap grows without bound;
+* the signature-only matcher is competitive on random functions (their
+  cofactor weights differentiate well) but collapses on symmetric /
+  balanced functions, where its residual search is factorial — exactly
+  the regime the paper's GRM forms and symmetry detection handle.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from _report import emit, emit_header
+from repro.baselines import exhaustive, signature_matcher, spectral
+from repro.boolfunc import ops
+from repro.boolfunc.transform import NpnTransform, random_equivalent_pair
+from repro.core.matcher import match
+
+
+def _pairs(n, count, seed):
+    rng = random.Random(seed)
+    return [random_equivalent_pair(n, rng)[:2] for _ in range(count)]
+
+
+@pytest.mark.parametrize("n", [3, 4, 5])
+def test_exhaustive_matcher(benchmark, n):
+    pairs = _pairs(n, 5, seed=n)
+    benchmark(lambda: [exhaustive.match(f, g) for f, g in pairs])
+
+
+@pytest.mark.parametrize("n", [3, 4, 5, 6, 7])
+def test_signature_matcher(benchmark, n):
+    pairs = _pairs(n, 5, seed=n)
+    benchmark(lambda: [signature_matcher.match(f, g) for f, g in pairs])
+
+
+@pytest.mark.parametrize("n", [3, 4, 5, 6, 7])
+def test_grm_matcher(benchmark, n):
+    pairs = _pairs(n, 5, seed=n)
+    benchmark(lambda: [match(f, g) for f, g in pairs])
+
+
+@pytest.mark.parametrize("n", [3, 4, 5, 6])
+def test_spectral_matcher(benchmark, n):
+    pairs = _pairs(n, 5, seed=n)
+    benchmark(lambda: [spectral.match(f, g) for f, g in pairs])
+
+
+def test_crossover_table(benchmark):
+    """One-shot head-to-head timing table across n."""
+
+    def run():
+        rows = []
+        for n in (3, 4, 5, 6):
+            pairs = _pairs(n, 5, seed=42 + n)
+            t0 = time.perf_counter()
+            for f, g in pairs:
+                assert match(f, g) is not None
+            grm_t = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            for f, g in pairs:
+                assert signature_matcher.match(f, g) is not None
+            sig_t = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            for f, g in pairs:
+                assert spectral.match(f, g) is not None
+            spec_t = time.perf_counter() - t0
+            if n <= 5:
+                t0 = time.perf_counter()
+                for f, g in pairs:
+                    assert exhaustive.match(f, g) is not None
+                exh_t = time.perf_counter() - t0
+            else:
+                exh_t = float("nan")
+            rows.append((n, grm_t, sig_t, spec_t, exh_t))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_header("Baselines — seconds for 5 equivalent matches (lower is better)")
+    emit(f"{'n':>3} {'GRM (paper)':>12} {'signatures':>12} {'spectral':>12} {'exhaustive':>12}")
+    for n, grm_t, sig_t, spec_t, exh_t in rows:
+        exh = f"{exh_t:12.4f}" if exh_t == exh_t else f"{'(skipped)':>12}"
+        emit(f"{n:>3} {grm_t:>12.4f} {sig_t:>12.4f} {spec_t:>12.4f} {exh}")
+    # Shape assertion: exhaustive must already be losing badly at n = 5.
+    n5 = [r for r in rows if r[0] == 5][0]
+    assert n5[4] > n5[1]
+
+
+def test_structured_regime_table(benchmark):
+    """Structured functions: signature-style baselines stall, GRM holds.
+
+    Random functions flatter the weight/spectral baselines (first-order
+    statistics separate everything); on symmetric, selector and
+    balanced functions their residual search explodes while the GRM
+    matcher's symmetry machinery answers immediately.
+    """
+    import random as _random
+
+    from repro.benchcircuits import build_circuit
+    from repro.boolfunc.random_gen import random_balanced_function
+
+    rng = _random.Random(33)
+    mux = build_circuit("cm151a").outputs[0].table
+    workloads = [
+        ("majority-9", ops.majority(9)),
+        ("cm151a mux", mux),
+        ("balanced-7", random_balanced_function(7, rng)),
+        ("parity-10", __import__("repro.boolfunc", fromlist=["TruthTable"]).TruthTable.parity(10)),
+    ]
+
+    def run():
+        rows = []
+        for label, f in workloads:
+            g = NpnTransform.random(f.n, rng).apply(f)
+            t0 = time.perf_counter()
+            assert match(f, g) is not None
+            grm_t = time.perf_counter() - t0
+
+            def attempt(fn):
+                t0 = time.perf_counter()
+                try:
+                    ok = fn() is not None
+                except RuntimeError:
+                    return None
+                return time.perf_counter() - t0 if ok else None
+
+            sig_t = attempt(lambda: signature_matcher.match(f, g))
+            spec_t = attempt(lambda: spectral.match(f, g))
+            rows.append((label, f.n, grm_t, sig_t, spec_t))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_header("Structured regimes — GRM vs signature-style baselines")
+    emit(f"{'workload':<12} {'n':>3} {'GRM':>10} {'signatures':>12} {'spectral':>12}")
+    for label, n, grm_t, sig_t, spec_t in rows:
+        sig = f"{sig_t:>10.4f}s" if sig_t is not None else f"{'BLOWN UP':>11}"
+        spec = f"{spec_t:>10.4f}s" if spec_t is not None else f"{'BLOWN UP':>11}"
+        emit(f"{label:<12} {n:>3} {grm_t:>9.4f}s {sig} {spec}")
+
+
+def test_symmetric_regime_signature_collapse(benchmark):
+    """Where the paper's method wins outright: symmetric functions.
+
+    The signature baseline's blocks stay maximal and its residual search
+    is refused beyond a budget; the GRM matcher's symmetry collapse
+    answers immediately.
+    """
+    rng = random.Random(5)
+    f = ops.majority(9)
+    g = NpnTransform.random(9, rng).apply(f)
+
+    def grm_side():
+        return match(f, g)
+
+    result = benchmark(grm_side)
+    assert result is not None
+    with pytest.raises(RuntimeError):
+        signature_matcher.np_match(f, g, max_block_permutations=10000)

@@ -1,0 +1,93 @@
+"""ESOP minimization and DSD shapes — XOR-form extensions.
+
+Two extensions of the paper's AND/XOR theme, benchmarked on the suite:
+
+* the exorcism-style ESOP minimizer against the best fixed-polarity
+  (GRM) cover — how much the mixed-polarity freedom buys;
+* disjoint-support decomposition as a matching prefilter — the DSD
+  shape is an npn-invariant signature computed without any search.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from _report import emit, emit_header
+from repro.benchcircuits import build_circuit
+from repro.boolfunc.dsd import decompose, shape_signature
+from repro.boolfunc.transform import NpnTransform
+from repro.boolfunc.truthtable import TruthTable
+from repro.grm.esop import minimize_esop
+from repro.grm.minimize import minimize_exact
+
+
+@pytest.mark.parametrize("n", [6, 8, 10])
+def test_esop_minimization(benchmark, n):
+    f = TruthTable.random(n, random.Random(n))
+    result = benchmark(minimize_esop, f)
+    assert result.to_truthtable(n) == f
+
+
+@pytest.mark.parametrize("n", [6, 8, 10])
+def test_dsd_decomposition(benchmark, n):
+    f = TruthTable.random(n, random.Random(n))
+    result = benchmark(decompose, f)
+    assert result.to_truthtable() == f
+
+
+def test_esop_vs_grm_table(benchmark):
+    cases = []
+    for name in ("9sym", "rd73", "z4ml", "con1", "misex1", "x2"):
+        circuit = build_circuit(name)
+        for out in circuit.outputs[:2]:
+            if 2 <= out.table.n <= 10:
+                cases.append((f"{name}.{out.name}", out.table))
+
+    def run():
+        rows = []
+        for label, tt in cases:
+            grm = minimize_exact(tt).cube_count
+            esop = minimize_esop(tt)
+            assert esop.to_truthtable(tt.n) == tt
+            rows.append((label, tt.n, grm, esop.cube_count))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_header("ESOP vs best fixed-polarity GRM — cube counts")
+    emit(f"{'function':<12} {'n':>3} {'GRM min':>8} {'ESOP':>6} {'gain':>7}")
+    for label, n, grm, esop in rows:
+        gain = f"{(1 - esop / grm) * 100:>5.0f}%" if grm else "  -"
+        emit(f"{label:<12} {n:>3} {grm:>8} {esop:>6} {gain:>7}")
+        assert esop <= grm
+
+
+def test_dsd_prefilter_table(benchmark):
+    """DSD shape as a matching prefilter: invariant (no false negatives)
+    and discriminating across benchmark outputs."""
+    rng = random.Random(9)
+    functions = []
+    for name in ("rd73", "z4ml", "con1", "misex1", "cm138a"):
+        for out in build_circuit(name).outputs:
+            if out.table.n <= 9:
+                functions.append(out.table)
+
+    def run():
+        shapes = {}
+        t0 = time.perf_counter()
+        for f in functions:
+            shapes.setdefault(shape_signature(decompose(f)), []).append(f)
+        shape_t = time.perf_counter() - t0
+        # Invariance spot-check on scrambled copies.
+        for f in functions[:10]:
+            g = NpnTransform.random(f.n, rng).apply(f)
+            assert shape_signature(decompose(g)) == shape_signature(decompose(f))
+        return len(functions), len(shapes), shape_t
+
+    total, classes, shape_t = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_header("DSD shapes as a matching prefilter")
+    emit(f"functions: {total}, distinct shapes: {classes}, "
+         f"{shape_t / total * 1e3:.2f} ms per function")
+    assert classes > 1

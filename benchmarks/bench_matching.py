@@ -1,0 +1,113 @@
+"""Headline claim — npn matching with (usually) one GRM per function.
+
+The paper's central claim (Sections 6 and 8): most npn-equivalence
+checks need a single GRM form per function, with at most 2n forms in
+the worst case.  This harness measures matcher throughput and the
+number of GRM forms built across workloads:
+
+* random equivalent pairs (a hidden transform to recover),
+* random independent pairs (almost always inequivalent),
+* the hard all-balanced family (linear-trick + completions territory),
+* totally symmetric functions (symmetry collapse).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import pytest
+
+from _report import emit, emit_header
+from repro.boolfunc import ops
+from repro.boolfunc.random_gen import random_balanced_function
+from repro.boolfunc.transform import NpnTransform, random_equivalent_pair
+from repro.boolfunc.truthtable import TruthTable
+from repro.core.matcher import match, match_with_stats
+
+
+def _equivalent_workload(n: int, count: int, seed: int):
+    rng = random.Random(seed)
+    return [random_equivalent_pair(n, rng)[:2] for _ in range(count)]
+
+
+def _random_workload(n: int, count: int, seed: int):
+    rng = random.Random(seed)
+    return [
+        (TruthTable.random(n, rng), TruthTable.random(n, rng)) for _ in range(count)
+    ]
+
+
+@pytest.mark.parametrize("n", [4, 6, 8, 10])
+def test_match_equivalent_pairs(benchmark, n):
+    pairs = _equivalent_workload(n, 20, seed=n)
+
+    def run():
+        hits = 0
+        for f, g in pairs:
+            if match(f, g) is not None:
+                hits += 1
+        return hits
+
+    assert benchmark(run) == len(pairs)
+
+
+@pytest.mark.parametrize("n", [4, 6, 8, 10])
+def test_match_random_pairs(benchmark, n):
+    pairs = _random_workload(n, 20, seed=100 + n)
+
+    def run():
+        return sum(1 for f, g in pairs if match(f, g) is not None)
+
+    benchmark(run)
+
+
+def test_match_hard_balanced_family(benchmark):
+    rng = random.Random(7)
+    pairs = []
+    for _ in range(10):
+        f = random_balanced_function(6, rng)
+        pairs.append((f, NpnTransform.random(6, rng).apply(f)))
+
+    def run():
+        return sum(1 for f, g in pairs if match(f, g) is not None)
+
+    assert benchmark(run) == len(pairs)
+
+
+def test_match_symmetric_functions(benchmark):
+    rng = random.Random(11)
+    f = ops.majority(11)
+    g = NpnTransform.random(11, rng).apply(f)
+    result = benchmark(match, f, g)
+    assert result is not None
+
+
+def test_grm_count_statistics(benchmark, capsys):
+    """How many GRM forms does matching actually build? (paper: usually
+    one per function, ≤ 2n worst case)."""
+    rng = random.Random(3)
+
+    def collect():
+        rows = []
+        for n in (4, 6, 8):
+            grms: List[int] = []
+            completions: List[int] = []
+            for _ in range(40):
+                f, g, _ = random_equivalent_pair(n, rng)
+                out = match_with_stats(f, g)
+                assert out.transform is not None
+                grms.append(out.stats.grms_built)
+                completions.append(out.stats.hard_completions_tried)
+            rows.append((n, grms, completions))
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    emit_header("Headline claim — GRM forms built per npn match (paper: usually 1+1)")
+    emit(f"{'n':>3} {'avg GRMs':>9} {'max GRMs':>9} {'2n bound':>9} {'avg completions':>16}")
+    for n, grms, completions in rows:
+        emit(
+            f"{n:>3} {sum(grms) / len(grms):>9.2f} {max(grms):>9} {2 * n:>9} "
+            f"{sum(completions) / len(completions):>16.2f}"
+        )
+        assert max(grms) <= 4 * n  # generous sanity bound on the claim

@@ -1,0 +1,94 @@
+"""Substrate scaling — FPRM transform, GRM forms, BDD and FDD packages.
+
+The repro band predicts "easy to code; slower on larger benchmark
+functions": this harness quantifies how each substrate scales with the
+variable count so the per-output costs in Table 1 have a basis.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from _report import emit, emit_header
+from repro.bdd.manager import BddManager
+from repro.boolfunc.truthtable import TruthTable
+from repro.core.polarity import decide_polarity
+from repro.fdd.manager import Fdd
+from repro.grm.forms import Grm
+from repro.grm.transform import fprm_coefficients
+
+
+@pytest.mark.parametrize("n", [10, 13, 16])
+def test_fprm_transform(benchmark, n):
+    rng = random.Random(n)
+    f = TruthTable.random(n, rng)
+    benchmark(fprm_coefficients, f.bits, n, (1 << n) - 1)
+
+
+@pytest.mark.parametrize("n", [8, 10, 12])
+def test_grm_form_construction(benchmark, n):
+    rng = random.Random(n)
+    f = TruthTable.random(n, rng)
+    benchmark(Grm.from_truthtable, f, (1 << n) - 1)
+
+
+@pytest.mark.parametrize("n", [8, 10, 12])
+def test_polarity_decision(benchmark, n):
+    rng = random.Random(n)
+    f = TruthTable.random(n, rng)
+    benchmark(decide_polarity, f)
+
+
+@pytest.mark.parametrize("n", [8, 10, 12])
+def test_bdd_construction(benchmark, n):
+    rng = random.Random(n)
+    f = TruthTable.random(n, rng)
+
+    def build():
+        mgr = BddManager(n)
+        return mgr.from_truthtable(f)
+
+    benchmark(build)
+
+
+@pytest.mark.parametrize("n", [8, 10])
+def test_fdd_fold_from_bdd(benchmark, n):
+    rng = random.Random(n)
+    f = TruthTable.random(n, rng)
+
+    def build():
+        mgr = BddManager(n)
+        node = mgr.from_truthtable(f)
+        return Fdd.fold_from_bdd(mgr, node, (1 << n) - 1).num_cubes()
+
+    benchmark(build)
+
+
+def test_scaling_table(benchmark):
+    def run():
+        rows = []
+        for n in (8, 10, 12, 14, 16, 18):
+            rng = random.Random(n)
+            f = TruthTable.random(n, rng)
+            t0 = time.perf_counter()
+            coeffs = fprm_coefficients(f.bits, n, (1 << n) - 1)
+            fprm_t = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            decide_polarity(f)
+            pol_t = time.perf_counter() - t0
+            cube_count = bin(coeffs).count("1")
+            rows.append((n, fprm_t, pol_t, cube_count))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_header("Substrate scaling — random n-variable functions")
+    emit(f"{'n':>3} {'FPRM (ms)':>10} {'polarity (ms)':>14} {'GRM cubes':>10}")
+    for n, fprm_t, pol_t, cubes in rows:
+        emit(f"{n:>3} {fprm_t * 1e3:>10.2f} {pol_t * 1e3:>14.2f} {cubes:>10}")
+    # Random functions have ~half of all cubes present: the dense path
+    # is exponential in n, which is the "slower on larger functions"
+    # prediction of the repro band.
+    assert rows[-1][3] > rows[0][3]

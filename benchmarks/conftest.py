@@ -1,0 +1,7 @@
+"""Benchmark-session hooks: flush the queued report tables at the end."""
+
+from _report import flush_to
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    flush_to(terminalreporter.write_line)

@@ -1,0 +1,66 @@
+"""Technology mapping: bind subnetwork functions onto a cell library.
+
+The paper's motivating application (Section 1): during technology
+mapping, decide whether a subnetwork can be implemented by a library
+cell, "perhaps with inverters on some of the input or output lines" —
+npn matching with the transform telling the mapper where the inverters
+go.
+
+Run:  python examples/techmap.py
+"""
+
+from repro import CellLibrary
+from repro.benchcircuits.netlist import Netlist
+
+
+def build_subject() -> Netlist:
+    """A small multi-level network whose nodes we want to map."""
+    nl = Netlist(
+        "subject",
+        ["a", "b", "c", "d", "e"],
+        ["f1", "f2", "f3", "f4"],
+    )
+    nl.add("n1", "NOR", "a", "b")          # maps to NOR2 (or NAND2 + phases)
+    nl.add("n2", "XNOR", "c", "d")         # maps to XOR2 with output inverter
+    nl.add("f1", "AND", "n1", "n2")
+    nl.add("f2", "MAJ", "a", "c", "e")     # maps to MAJ3 / FA_CARRY
+    nl.add("n3", "OR", "b", "d")
+    nl.add("f3", "NAND", "n3", "e")        # OAI21 territory once collapsed
+    nl.add("f4", "XOR", "a", "b", "c")     # FA_SUM / XOR3
+    return nl
+
+
+def main() -> None:
+    library = CellLibrary()
+    subject = build_subject()
+    print(f"library: {len(library.cells)} cells")
+    print(f"subject: {len(subject.gates)} nodes to map\n")
+
+    header = f"{'node':<5} {'function':<12} {'cell':<9} {'area':>5} {'inv':>4}  pins"
+    print(header)
+    print("-" * len(header))
+    total_area = 0.0
+    for net in subject.gates:
+        tt, support = subject.output_function(net)
+        reduced, keep = tt.project_to_support()
+        binding = library.bind(reduced)
+        if binding is None:
+            print(f"{net:<5} {reduced.to_binary_string():<12} {'(no cell)':<9}")
+            continue
+        t = binding.transform
+        pins = ", ".join(
+            f"{binding.cell.name}.{i}<-{'~' if (t.input_neg >> i) & 1 else ''}"
+            f"x{support[keep[t.perm[i]]]}"
+            for i in range(t.n)
+        )
+        out = " (output inverted)" if t.output_neg else ""
+        total_area += binding.cell.area + binding.inverter_count()
+        print(
+            f"{net:<5} {reduced.to_binary_string():<12} {binding.cell.name:<9} "
+            f"{binding.cell.area:>5.1f} {binding.inverter_count():>4}  {pins}{out}"
+        )
+    print(f"\nestimated area (cells + inverters): {total_area:.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setuptools shim (see the note at the top of pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""grm-match: Boolean matching using Generalized Reed-Muller forms.
+
+A from-scratch reproduction of Tsai & Marek-Sadowska (DAC 1994).  The
+public API re-exports the pieces a downstream user needs:
+
+* :class:`TruthTable`, :class:`NpnTransform` — the function substrate;
+* :class:`Grm` — canonical fixed-polarity Reed-Muller forms;
+* :func:`match` / :func:`is_npn_equivalent` — the paper's matcher;
+* :func:`canonical_form` — GRM-driven npn canonicalization;
+* :func:`differentiate_output` — the Section 7 variable-differentiation
+  experiment;
+* :class:`CellLibrary` — technology mapping on top of the matcher.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.boolfunc import NpnTransform, TruthTable
+from repro.core import (
+    canonical_form,
+    decide_polarity,
+    differentiate_circuit,
+    differentiate_output,
+    is_np_equivalent,
+    is_npn_equivalent,
+    match,
+    match_with_stats,
+)
+from repro.grm import Grm
+from repro.library import CellLibrary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CellLibrary",
+    "Grm",
+    "NpnTransform",
+    "TruthTable",
+    "canonical_form",
+    "decide_polarity",
+    "differentiate_circuit",
+    "differentiate_output",
+    "is_np_equivalent",
+    "is_npn_equivalent",
+    "match",
+    "match_with_stats",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""And-Inverter Graph substrate: structural hashing, cuts, mapping."""
+
+from repro.aig.cuts import Cut, enumerate_cuts
+from repro.aig.graph import FALSE, TRUE, Aig, lit, lit_compl, lit_not, lit_var
+from repro.aig.mapper import AigMapper, MappedNode, MappingResult, MappingStats
+
+__all__ = [
+    "Aig",
+    "AigMapper",
+    "Cut",
+    "FALSE",
+    "MappedNode",
+    "MappingResult",
+    "MappingStats",
+    "TRUE",
+    "enumerate_cuts",
+    "lit",
+    "lit_compl",
+    "lit_not",
+    "lit_var",
+]

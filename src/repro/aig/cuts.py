@@ -1,0 +1,82 @@
+"""K-feasible cut enumeration on AIGs.
+
+A *cut* of node ``v`` is a set of nodes (leaves) such that every path
+from the primary inputs to ``v`` passes through a leaf; it is
+k-feasible when it has at most ``k`` leaves.  The mapper evaluates the
+local function of each cut and matches it against the library.
+
+Standard bottom-up enumeration: the cuts of an AND node are the merged
+pairs of its fanins' cuts (unions of at most ``k`` leaves), plus the
+trivial cut ``{v}``; dominated cuts (supersets of another cut) are
+pruned and the per-node list is truncated to the smallest few.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.aig.graph import FALSE, Aig, lit_var
+
+
+@dataclass(frozen=True)
+class Cut:
+    """An ordered (sorted) tuple of leaf node ids."""
+
+    leaves: Tuple[int, ...]
+
+    def size(self) -> int:
+        return len(self.leaves)
+
+    def dominates(self, other: "Cut") -> bool:
+        """True when this cut's leaves are a subset of ``other``'s."""
+        return set(self.leaves) <= set(other.leaves)
+
+
+def _merge(a: Cut, b: Cut, k: int) -> Cut | None:
+    union = sorted(set(a.leaves) | set(b.leaves))
+    if len(union) > k:
+        return None
+    return Cut(tuple(union))
+
+
+def _prune(cuts: List[Cut], max_cuts: int) -> List[Cut]:
+    cuts = sorted(set(cuts), key=lambda c: (c.size(), c.leaves))
+    kept: List[Cut] = []
+    for cut in cuts:
+        if any(existing.dominates(cut) for existing in kept):
+            continue
+        kept.append(cut)
+        if len(kept) >= max_cuts:
+            break
+    return kept
+
+
+def enumerate_cuts(
+    aig: Aig, k: int = 4, max_cuts_per_node: int = 16
+) -> Dict[int, List[Cut]]:
+    """All (pruned) k-feasible cuts for every node of the AIG.
+
+    Primary inputs get their trivial cut; AND nodes get merged fanin
+    cuts plus the trivial cut (listed last so the mapper prefers real
+    covers).
+    """
+    if k < 2:
+        raise ValueError("cut size must be at least 2")
+    cuts: Dict[int, List[Cut]] = {FALSE: [Cut(())]}
+    for idx in range(1, aig.n_inputs + 1):
+        cuts[idx] = [Cut((idx,))]
+    for node in aig.and_nodes():
+        fa, fb = aig.fanins(node)
+        merged: List[Cut] = []
+        for ca in cuts[lit_var(fa)]:
+            for cb in cuts[lit_var(fb)]:
+                cut = _merge(ca, cb, k)
+                if cut is not None:
+                    merged.append(cut)
+        merged = _prune(merged, max_cuts_per_node)
+        trivial = Cut((node,))
+        if trivial not in merged:
+            merged.append(trivial)
+        cuts[node] = merged
+    return cuts

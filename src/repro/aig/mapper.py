@@ -1,0 +1,226 @@
+"""Cut-based technology mapping with npn Boolean matching.
+
+The full application loop the paper targets: enumerate k-feasible cuts
+over the subject AIG, evaluate every cut's local function, decide by
+npn matching which library cells can implement it, and pick a cover by
+dynamic programming on (duplication-ignoring) area.  The matcher is
+invoked through the npn-canonical library index, so every distinct cut
+*class* costs one canonicalization — the statistics report how much the
+canonical-form cache saves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.aig.cuts import Cut, enumerate_cuts
+from repro.aig.graph import FALSE, Aig, lit_compl, lit_var
+from repro.benchcircuits.netlist import Gate, Netlist
+from repro.boolfunc.truthtable import TruthTable
+from repro.core.canonical import canonical_form
+from repro.core.matcher import match
+from repro.library.techmap import Binding, CellLibrary
+
+INVERTER_AREA = 1.0
+
+
+@dataclass
+class MappedNode:
+    """One chosen cover element: a node implemented by a cell on a cut."""
+
+    node: int
+    cut: Cut
+    binding: Binding
+    function: TruthTable
+    """Local function over ``cut.leaves`` (already phase-resolved)."""
+
+
+@dataclass
+class MappingStats:
+    """Work counters for one mapping run."""
+
+    cuts_evaluated: int = 0
+    canonicalizations: int = 0
+    class_cache_hits: int = 0
+    matcher_calls: int = 0
+
+
+@dataclass
+class MappingResult:
+    """A complete cover of the AIG outputs."""
+
+    aig: Aig
+    nodes: Dict[int, MappedNode]
+    output_literals: List[Tuple[str, int]]
+    area: float
+    stats: MappingStats = field(repr=False, default_factory=MappingStats)
+
+    def cell_histogram(self) -> Dict[str, int]:
+        hist: Dict[str, int] = {}
+        for mapped in self.nodes.values():
+            hist[mapped.binding.cell.name] = hist.get(mapped.binding.cell.name, 0) + 1
+        return hist
+
+    def to_netlist(self, name: str = "mapped") -> Netlist:
+        """Emit the cover as a netlist (one SOP gate per cell instance,
+        NOT gates for output inverters) for independent verification."""
+        netlist = Netlist(name, list(self.aig.input_names), [o for o, _ in self.output_literals])
+        net_of: Dict[int, str] = {
+            1 + k: self.aig.input_names[k] for k in range(self.aig.n_inputs)
+        }
+        needed_const = any(lit_var(l) == FALSE for _, l in self.output_literals)
+        if needed_const:
+            netlist.add_gate(Gate("__const0", "CONST0"))
+            net_of[FALSE] = "__const0"
+
+        def emit(node: int) -> str:
+            if node in net_of:
+                return net_of[node]
+            mapped = self.nodes[node]
+            fanin_nets = tuple(emit(leaf) for leaf in mapped.cut.leaves)
+            rows = []
+            for m in mapped.function.minterms():
+                rows.append(
+                    "".join(
+                        "1" if (m >> pos) & 1 else "0"
+                        for pos in range(len(fanin_nets))
+                    )
+                )
+            net = f"g{node}"
+            if rows:
+                netlist.add_gate(Gate(net, "SOP", fanin_nets, tuple(rows), 1))
+            else:
+                netlist.add_gate(Gate(net, "CONST0"))
+            net_of[node] = net
+            return net
+
+        def literal_net(literal: int) -> str:
+            base = emit(lit_var(literal))
+            if not lit_compl(literal):
+                return base
+            inv = f"{base}__n"
+            if inv not in netlist.gates:
+                netlist.add_gate(Gate(inv, "NOT", (base,)))
+            return inv
+
+        for out_name, literal in self.output_literals:
+            netlist.add_gate(Gate(out_name, "BUF", (literal_net(literal),)))
+        return netlist
+
+    def verify(self, max_inputs: int = 14) -> bool:
+        """End-to-end check: the mapped netlist equals the subject AIG."""
+        mapped = self.to_netlist()
+        n = self.aig.n_inputs
+        for out_name, literal in self.output_literals:
+            want = self.aig.literal_table(literal, max_inputs=max_inputs)
+            got, support = mapped.output_function(out_name, max_support=n)
+            bits = 0
+            for m in range(1 << n):
+                local = 0
+                for pos, var in enumerate(support):
+                    if (m >> var) & 1:
+                        local |= 1 << pos
+                if got.evaluate(local):
+                    bits |= 1 << m
+            if TruthTable(n, bits) != want:
+                return False
+        return True
+
+
+class AigMapper:
+    """Map an AIG onto a :class:`CellLibrary` with npn matching."""
+
+    def __init__(
+        self,
+        library: Optional[CellLibrary] = None,
+        cut_size: int = 4,
+        max_cuts_per_node: int = 16,
+    ):
+        self.library = library if library is not None else CellLibrary()
+        self.cut_size = cut_size
+        self.max_cuts_per_node = max_cuts_per_node
+        self._cells_by_name = {cell.name: cell for cell in self.library.cells}
+        # npn-class cache: canonical bits -> cheapest cell (or None).
+        self._class_cache: Dict[Tuple[int, int], Optional[str]] = {}
+
+    def map(self, aig: Aig) -> Optional[MappingResult]:
+        """Compute a minimum-area (duplication-ignoring) cover.
+
+        Returns ``None`` only when some required node has no matchable
+        cut — impossible with a library containing a 2-input AND class.
+        """
+        stats = MappingStats()
+        cuts = enumerate_cuts(aig, self.cut_size, self.max_cuts_per_node)
+        best_cost: Dict[int, float] = {FALSE: 0.0}
+        best_choice: Dict[int, Tuple[Cut, Binding, TruthTable]] = {}
+        for idx in range(1, aig.n_inputs + 1):
+            best_cost[idx] = 0.0
+
+        for node in aig.and_nodes():
+            node_best: Optional[float] = None
+            for cut in cuts[node]:
+                if cut.leaves == (node,):
+                    continue  # trivial cut cannot implement the node
+                if any(leaf not in best_cost for leaf in cut.leaves):
+                    continue
+                stats.cuts_evaluated += 1
+                function = aig.cut_function(node, cut.leaves)
+                binding = self._bind(function, stats)
+                if binding is None:
+                    continue
+                cost = (
+                    binding.cell.area
+                    + INVERTER_AREA * binding.inverter_count()
+                    + sum(best_cost[leaf] for leaf in cut.leaves)
+                )
+                if node_best is None or cost < node_best:
+                    node_best = cost
+                    best_choice[node] = (cut, binding, function)
+            if node_best is None:
+                return None
+            best_cost[node] = node_best
+
+        # Collect the cover actually reachable from the outputs.
+        chosen: Dict[int, MappedNode] = {}
+        area = 0.0
+        stack = [lit_var(l) for _, l in aig.outputs]
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if node in seen or not aig.is_and(node):
+                continue
+            seen.add(node)
+            cut, binding, function = best_choice[node]
+            chosen[node] = MappedNode(node, cut, binding, function)
+            area += binding.cell.area + INVERTER_AREA * binding.inverter_count()
+            stack.extend(cut.leaves)
+        area += INVERTER_AREA * sum(
+            1 for _, literal in aig.outputs if lit_compl(literal)
+        )
+        return MappingResult(
+            aig=aig,
+            nodes=chosen,
+            output_literals=list(aig.outputs),
+            area=area,
+            stats=stats,
+        )
+
+    def _bind(self, function: TruthTable, stats: MappingStats) -> Optional[Binding]:
+        canon, _ = canonical_form(function)
+        stats.canonicalizations += 1
+        key = (function.n, canon.bits)
+        if key not in self._class_cache:
+            binding = self.library.bind(function)
+            stats.matcher_calls += 1
+            self._class_cache[key] = binding.cell.name if binding else None
+            return binding
+        stats.class_cache_hits += 1
+        cell_name = self._class_cache[key]
+        if cell_name is None:
+            return None
+        cell = self._cells_by_name[cell_name]
+        transform = match(cell.function, function)
+        stats.matcher_calls += 1
+        assert transform is not None  # class equality guarantees a match
+        return Binding(cell, transform)

@@ -1,0 +1,6 @@
+"""Comparison baselines: exhaustive NPN, cofactor-signature matching,
+spectral-signature matching, conventional pairwise symmetry checking."""
+
+from repro.baselines import exhaustive, naive_symmetry, signature_matcher, spectral
+
+__all__ = ["exhaustive", "naive_symmetry", "signature_matcher", "spectral"]

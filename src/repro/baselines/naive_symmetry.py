@@ -1,0 +1,71 @@
+"""Conventional pairwise symmetry checking (the paper's implicit baseline).
+
+Before the GRM method, symmetry detection compared two-variable
+cofactors pair by pair and type by type ("only one type of symmetry is
+checked and the method of checking is very inefficient", Section 1).
+This module is that conventional checker, implemented both on truth
+tables and on BDDs, used as the comparison point for the symmetry
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from repro.bdd.manager import BddManager
+from repro.boolfunc.truthtable import TruthTable
+from repro.core.symmetry import E, NE, SKEW_E, SKEW_NE
+
+
+def all_pair_symmetries_naive(f: TruthTable) -> Dict[Tuple[int, int], FrozenSet[str]]:
+    """Check all four types for every pair with fresh cofactor computations.
+
+    Deliberately recomputes each cofactor per (pair, type) query the way
+    a per-request checker would — 4 checks × C(n,2) pairs, each building
+    four cofactors.
+    """
+    n = f.n
+    result: Dict[Tuple[int, int], FrozenSet[str]] = {}
+    for i in range(n):
+        for j in range(i + 1, n):
+            kinds = set()
+            if f.cofactor(i, 0).cofactor(j, 1) == f.cofactor(i, 1).cofactor(j, 0):
+                kinds.add(NE)
+            if f.cofactor(i, 0).cofactor(j, 0) == f.cofactor(i, 1).cofactor(j, 1):
+                kinds.add(E)
+            if f.cofactor(i, 0).cofactor(j, 1) == ~f.cofactor(i, 1).cofactor(j, 0):
+                kinds.add(SKEW_NE)
+            if f.cofactor(i, 0).cofactor(j, 0) == ~f.cofactor(i, 1).cofactor(j, 1):
+                kinds.add(SKEW_E)
+            result[(i, j)] = frozenset(kinds)
+    return result
+
+
+def all_pair_symmetries_bdd(f: TruthTable) -> Dict[Tuple[int, int], FrozenSet[str]]:
+    """The same pairwise check carried out on BDD cofactors."""
+    mgr = BddManager(f.n)
+    node = mgr.from_truthtable(f)
+    result: Dict[Tuple[int, int], FrozenSet[str]] = {}
+    for i in range(f.n):
+        for j in range(i + 1, f.n):
+            c01 = mgr.cofactor(mgr.cofactor(node, i, 0), j, 1)
+            c10 = mgr.cofactor(mgr.cofactor(node, i, 1), j, 0)
+            c00 = mgr.cofactor(mgr.cofactor(node, i, 0), j, 0)
+            c11 = mgr.cofactor(mgr.cofactor(node, i, 1), j, 1)
+            kinds = set()
+            if c01 == c10:
+                kinds.add(NE)
+            if c00 == c11:
+                kinds.add(E)
+            if c01 == mgr.apply_not(c10):
+                kinds.add(SKEW_NE)
+            if c00 == mgr.apply_not(c11):
+                kinds.add(SKEW_E)
+            result[(i, j)] = frozenset(kinds)
+    return result
+
+
+def is_totally_symmetric_naive(f: TruthTable) -> bool:
+    """Total symmetry by exhaustive pairwise positive-symmetry checks."""
+    pairs = all_pair_symmetries_naive(f)
+    return all(NE in kinds or E in kinds for kinds in pairs.values())

@@ -1,0 +1,160 @@
+"""Cofactor-signature matching baseline (Mohnke/Malik style).
+
+The contemporaries the paper compares against ([3], [6], [7], [10])
+match with *signatures only*: per-variable statistics that are invariant
+under permutation and phase, used to pin down the input correspondence,
+with brute-force search over whatever the signatures cannot separate.
+This baseline uses the classic cofactor-weight signature hierarchy
+(first-order weights, then iterated second-order cross weights), then
+permutes the residual ambiguity groups exhaustively.  No GRM forms, no
+symmetry machinery — exactly the gap the paper's method fills.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.boolfunc.transform import NpnTransform
+from repro.boolfunc.truthtable import TruthTable
+from repro.core.polarity import phase_candidates
+from repro.utils.partition import Partition
+
+
+@dataclass
+class SignatureMatchStats:
+    """Work counters for one signature-baseline match call."""
+
+    permutations_tried: int = 0
+    phase_checks: int = 0
+
+
+def _weight_key(f: TruthTable, v: int) -> Tuple[int, int]:
+    a = f.cofactor_weight(v, 0)
+    b = f.cofactor_weight(v, 1)
+    return (a, b) if a <= b else (b, a)
+
+
+def _cross_key(f: TruthTable, v: int, blocks: List[Tuple[int, ...]]) -> Tuple:
+    """Second-order signature: multiset of two-variable cofactor weights
+    toward every current block (phase-invariant by sorting the quads)."""
+    key = []
+    for block in blocks:
+        entries = []
+        for w in block:
+            if w == v:
+                continue
+            quad = sorted(
+                f.cofactor(v, a).cofactor(w, b).count()
+                for a in (0, 1)
+                for b in (0, 1)
+            )
+            entries.append(tuple(quad))
+        key.append(tuple(sorted(entries)))
+    return tuple(key)
+
+
+def _signature_partition(f: TruthTable, max_rounds: int = 4) -> Partition:
+    part = Partition(f.n)
+    part.refine(lambda v: _weight_key(f, v))
+    for _ in range(max_rounds):
+        blocks = [tuple(b) for b in part.blocks]
+        if not part.refine(lambda v: _cross_key(f, v, blocks)):
+            break
+    return part
+
+
+def np_match(
+    ff: TruthTable,
+    gg: TruthTable,
+    stats: Optional[SignatureMatchStats] = None,
+    max_block_permutations: int = 362880,
+) -> Optional[NpnTransform]:
+    """Signature-guided np matching with exhaustive residual search."""
+    if stats is None:
+        stats = SignatureMatchStats()
+    n = ff.n
+    if gg.n != n or ff.count() != gg.count():
+        return None
+    part_f = _signature_partition(ff)
+    part_g = _signature_partition(gg)
+    if part_f.block_sizes() != part_g.block_sizes():
+        return None
+
+    total = 1
+    for size in part_f.block_sizes():
+        for k in range(2, size + 1):
+            total *= k
+        if total > max_block_permutations:
+            raise RuntimeError("signature baseline: residual search too large")
+
+    block_perms = [
+        list(itertools.permutations(block_g))
+        for block_g in part_g.blocks
+    ]
+    for choice in itertools.product(*block_perms):
+        stats.permutations_tried += 1
+        perm = [0] * n
+        for block_f, arrangement in zip(part_f.blocks, choice):
+            for v, w in zip(block_f, arrangement):
+                perm[v] = w
+        # Phases: per variable, derive from the (possibly swapped) weight
+        # pair; ambiguous (balanced) variables try both phases.
+        ambiguous: List[int] = []
+        neg = 0
+        feasible = True
+        for v in range(n):
+            w = perm[v]
+            f0 = ff.cofactor_weight(v, 0)
+            f1 = ff.cofactor_weight(v, 1)
+            g0 = gg.cofactor_weight(w, 0)
+            g1 = gg.cofactor_weight(w, 1)
+            if f0 == f1:
+                ambiguous.append(v)
+            elif (f0, f1) == (g0, g1):
+                pass
+            elif (f0, f1) == (g1, g0):
+                neg |= 1 << v
+            else:
+                feasible = False
+                break
+        if not feasible:
+            continue
+        for bits in range(1 << len(ambiguous)):
+            stats.phase_checks += 1
+            mask = neg
+            for k, v in enumerate(ambiguous):
+                if (bits >> k) & 1:
+                    mask |= 1 << v
+            candidate = NpnTransform(tuple(perm), mask, False)
+            if candidate.apply(ff) == gg:
+                return candidate
+    return None
+
+
+def match(
+    f: TruthTable,
+    g: TruthTable,
+    stats: Optional[SignatureMatchStats] = None,
+    allow_output_neg: bool = True,
+) -> Optional[NpnTransform]:
+    """Full npn matching with the signature baseline."""
+    if f.n != g.n:
+        return None
+    if f.n == 0:
+        if f.bits == g.bits:
+            return NpnTransform(())
+        return NpnTransform((), 0, True) if allow_output_neg else None
+    f_phases = phase_candidates(f) if allow_output_neg else [(f, False)]
+    g_phases = phase_candidates(g) if allow_output_neg else [(g, False)]
+    for ff, fo in f_phases:
+        for gg, go in g_phases:
+            if ff.count() != gg.count():
+                continue
+            t0 = np_match(ff, gg, stats)
+            if t0 is not None:
+                result = NpnTransform(t0.perm, t0.input_neg, fo ^ go)
+                if result.apply(f) == g:
+                    return result
+    return None

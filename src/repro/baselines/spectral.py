@@ -1,0 +1,111 @@
+"""Spectral-signature matching baseline.
+
+Walsh-spectrum signatures were the other contemporary route to Boolean
+matching.  This baseline partitions variables by their npn-invariant
+spectral keys (orders 1-2 coefficient magnitudes), then searches the
+residual permutations and phases exhaustively — structurally parallel
+to :mod:`repro.baselines.signature_matcher` but with spectral rather
+than cofactor-weight signatures, so the benchmarks can compare all
+three signature families against the paper's GRM method.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from repro.boolfunc.transform import NpnTransform
+from repro.boolfunc.truthtable import TruthTable
+from repro.boolfunc.walsh import spectrum_by_order, variable_spectral_key
+from repro.core.polarity import phase_candidates
+from repro.utils.partition import Partition
+
+
+def _partition(f: TruthTable) -> Partition:
+    part = Partition(f.n)
+    part.refine(lambda v: variable_spectral_key(f, v))
+    return part
+
+
+def np_match(
+    ff: TruthTable,
+    gg: TruthTable,
+    max_block_permutations: int = 40320,
+) -> Optional[NpnTransform]:
+    """Spectrum-guided np matching with exhaustive residual search."""
+    n = ff.n
+    if gg.n != n:
+        return None
+    if spectrum_by_order(ff) != spectrum_by_order(gg):
+        return None
+    part_f = _partition(ff)
+    part_g = _partition(gg)
+    if part_f.block_sizes() != part_g.block_sizes():
+        return None
+
+    total = 1
+    for size in part_f.block_sizes():
+        for k in range(2, size + 1):
+            total *= k
+        if total > max_block_permutations:
+            raise RuntimeError("spectral baseline: residual search too large")
+
+    from repro.boolfunc.walsh import walsh_spectrum
+
+    spec_f = walsh_spectrum(ff)
+    spec_g = walsh_spectrum(gg)
+    block_perms = [list(itertools.permutations(block)) for block in part_g.blocks]
+    for choice in itertools.product(*block_perms):
+        perm: List[int] = [0] * n
+        for block_f, arrangement in zip(part_f.blocks, choice):
+            for v, w in zip(block_f, arrangement):
+                perm[v] = w
+        # Phases from first-order coefficient signs; sign-zero
+        # coefficients leave the phase free.
+        free: List[int] = []
+        neg = 0
+        for v in range(n):
+            cf = spec_f[1 << v]
+            cg = spec_g[1 << perm[v]]
+            if cf == 0:
+                free.append(v)
+            elif cf == -cg:
+                neg |= 1 << v
+            elif cf != cg:
+                break
+        else:
+            if 1 << len(free) > 4096:
+                raise RuntimeError("spectral baseline: too many free phases")
+            for bits in range(1 << len(free)):
+                mask = neg
+                for k, v in enumerate(free):
+                    if (bits >> k) & 1:
+                        mask |= 1 << v
+                candidate = NpnTransform(tuple(perm), mask, False)
+                if candidate.apply(ff) == gg:
+                    return candidate
+    return None
+
+
+def match(
+    f: TruthTable, g: TruthTable, allow_output_neg: bool = True
+) -> Optional[NpnTransform]:
+    """Full npn matching with the spectral baseline."""
+    if f.n != g.n:
+        return None
+    if f.n == 0:
+        if f.bits == g.bits:
+            return NpnTransform(())
+        return NpnTransform((), 0, True) if allow_output_neg else None
+    f_phases = phase_candidates(f) if allow_output_neg else [(f, False)]
+    g_phases = phase_candidates(g) if allow_output_neg else [(g, False)]
+    for ff, fo in f_phases:
+        for gg, go in g_phases:
+            if ff.count() != gg.count():
+                continue
+            t0 = np_match(ff, gg)
+            if t0 is not None:
+                result = NpnTransform(t0.perm, t0.input_neg, fo ^ go)
+                if result.apply(f) == g:
+                    return result
+    return None

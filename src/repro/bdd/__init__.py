@@ -1,0 +1,14 @@
+"""Reduced ordered binary decision diagrams (the paper's host package)."""
+
+from repro.bdd.manager import ONE, ZERO, BddManager
+from repro.bdd.reorder import OrderResult, natural_order, optimal_order, sift_order
+
+__all__ = [
+    "BddManager",
+    "ONE",
+    "OrderResult",
+    "ZERO",
+    "natural_order",
+    "optimal_order",
+    "sift_order",
+]

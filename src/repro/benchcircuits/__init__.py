@@ -1,0 +1,30 @@
+"""Benchmark circuits: netlists, BLIF/PLA IO, MCNC-style generators."""
+
+from repro.benchcircuits.blif import parse_blif, write_blif
+from repro.benchcircuits.generators import BenchmarkCircuit, OutputFunction, synthetic_circuit
+from repro.benchcircuits.netlist import Gate, Netlist
+from repro.benchcircuits.pla import Pla, functions_to_pla, parse_pla, write_pla
+from repro.benchcircuits.suite import (
+    TABLE1_CIRCUITS,
+    build_circuit,
+    circuit_names,
+    get_spec,
+)
+
+__all__ = [
+    "BenchmarkCircuit",
+    "Gate",
+    "Netlist",
+    "OutputFunction",
+    "Pla",
+    "TABLE1_CIRCUITS",
+    "build_circuit",
+    "circuit_names",
+    "functions_to_pla",
+    "get_spec",
+    "parse_blif",
+    "parse_pla",
+    "synthetic_circuit",
+    "write_blif",
+    "write_pla",
+]

@@ -1,0 +1,139 @@
+"""Berkeley Logic Interchange Format (BLIF) reader and writer.
+
+Supports the combinational subset the MCNC two-level/multi-level
+benchmarks use: ``.model``, ``.inputs``, ``.outputs``, ``.names`` (SOP
+covers with ``0/1/-`` input plane and a constant output column), and
+``.end``, with ``\\`` line continuations and ``#`` comments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.benchcircuits.netlist import Gate, Netlist
+
+
+
+def _logical_lines(text: str) -> Iterable[str]:
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if not line:
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        yield (pending + line).strip()
+        pending = ""
+    if pending.strip():
+        yield pending.strip()
+
+
+def parse_blif(text: str) -> Netlist:
+    """Parse one ``.model`` into a :class:`Netlist`."""
+    name = "blif"
+    inputs: List[str] = []
+    outputs: List[str] = []
+    covers: List[Tuple[Tuple[str, ...], List[str], int, bool]] = []
+    current: Tuple[Tuple[str, ...], List[str], List[int]] | None = None
+
+    def flush() -> None:
+        nonlocal current
+        if current is None:
+            return
+        signals, rows, out_values = current
+        if out_values and any(v != out_values[0] for v in out_values):
+            raise ValueError("mixed on-set/off-set rows in one .names cover")
+        had_rows = bool(out_values)
+        value = out_values[0] if out_values else 1
+        covers.append((signals, rows, value, had_rows))
+        current = None
+
+    for line in _logical_lines(text):
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".model":
+                name = parts[1] if len(parts) > 1 else name
+            elif directive == ".inputs":
+                flush()
+                inputs.extend(parts[1:])
+            elif directive == ".outputs":
+                flush()
+                outputs.extend(parts[1:])
+            elif directive == ".names":
+                flush()
+                current = (tuple(parts[1:]), [], [])
+            elif directive == ".end":
+                flush()
+                break
+            elif directive in (".exdc", ".latch"):
+                raise ValueError(f"unsupported BLIF construct {directive}")
+            else:
+                flush()  # ignore unknown directives (.default_input_arrival etc.)
+        else:
+            if current is None:
+                raise ValueError(f"cover row outside .names: {line!r}")
+            parts = line.split()
+            signals = current[0]
+            n_in = len(signals) - 1
+            if n_in == 0:
+                # Constant: single column is the output value.
+                current[2].append(int(parts[0]))
+            else:
+                pattern, value = parts[0], parts[1]
+                if len(pattern) != n_in:
+                    raise ValueError(f"cover width mismatch in {line!r}")
+                current[1].append(pattern)
+                current[2].append(int(value))
+    flush()
+
+    netlist = Netlist(name, inputs, outputs)
+    for signals, rows, value, had_rows in covers:
+        output = signals[-1]
+        fanins = signals[:-1]
+        if not fanins:
+            # Zero-input cover: a '1' row makes it constant 1 (a '0' row
+            # is an explicit constant 0); no rows at all is constant 0.
+            constant = value if had_rows else 0
+            netlist.add_gate(Gate(output, "CONST1" if constant else "CONST0"))
+        elif not rows:
+            # Empty cover: constant 0 for on-set covers, 1 for off-set.
+            netlist.add_gate(Gate(output, "CONST0" if value else "CONST1"))
+        else:
+            netlist.add_gate(Gate(output, "SOP", tuple(fanins), tuple(rows), value))
+    netlist.validate()
+    return netlist
+
+
+def write_blif(netlist: Netlist, max_support: int = 16) -> str:
+    """Serialize a netlist to BLIF.
+
+    Non-SOP gates are flattened to minterm covers of their local
+    function, which keeps the writer simple and round-trippable.
+    """
+    lines = [f".model {netlist.name}"]
+    lines.append(".inputs " + " ".join(netlist.inputs))
+    lines.append(".outputs " + " ".join(netlist.outputs))
+    for net, gate in netlist.gates.items():
+        if gate.op == "SOP":
+            lines.append(".names " + " ".join(gate.fanins + (net,)))
+            for row in gate.cover:
+                lines.append(f"{row} {gate.cover_value}")
+        elif gate.op in ("CONST0", "CONST1"):
+            lines.append(f".names {net}")
+            if gate.op == "CONST1":
+                lines.append("1")
+        else:
+            k = len(gate.fanins)
+            if k > max_support:
+                raise ValueError(f"gate {net!r} too wide to flatten")
+            local = Netlist("tmp", list(gate.fanins), [net])
+            local.add_gate(Gate(net, gate.op, gate.fanins))
+            tt, _ = local.output_function(net, max_support)
+            lines.append(".names " + " ".join(gate.fanins + (net,)))
+            for m in tt.minterms():
+                pattern = "".join("1" if (m >> i) & 1 else "0" for i in range(k))
+                lines.append(f"{pattern} 1")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

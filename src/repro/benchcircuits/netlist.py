@@ -1,0 +1,221 @@
+"""Combinational gate-level netlists.
+
+The benchmark circuits are multi-output combinational networks; the
+matching pipeline consumes them one output function at a time, each
+reduced to its structural input cone and evaluated into a packed truth
+table.  :class:`Netlist` supports plain logic gates and SOP covers (the
+BLIF ``.names`` construct).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.boolfunc.cube import Cube
+from repro.boolfunc.truthtable import TruthTable
+
+SIMPLE_OPS = {
+    "BUF", "NOT", "AND", "OR", "NAND", "NOR", "XOR", "XNOR",
+    "MUX", "MAJ", "CONST0", "CONST1",
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One logic element driving net ``output``.
+
+    ``op`` is a member of :data:`SIMPLE_OPS`, or ``"SOP"`` with ``cover``
+    holding PLA-style rows over the fanins (OR of cubes; ``cover_value``
+    0 means the rows describe the off-set).  ``MUX`` reads fanins as
+    ``(select, a, b)`` returning ``b`` when select is 1, else ``a``.
+    """
+
+    output: str
+    op: str
+    fanins: Tuple[str, ...] = ()
+    cover: Tuple[str, ...] = ()
+    cover_value: int = 1
+
+    def __post_init__(self) -> None:
+        if self.op not in SIMPLE_OPS and self.op != "SOP":
+            raise ValueError(f"unknown gate op {self.op!r}")
+        if self.op == "MUX" and len(self.fanins) != 3:
+            raise ValueError("MUX takes exactly (select, a, b)")
+        if self.op == "NOT" and len(self.fanins) != 1:
+            raise ValueError("NOT takes exactly one fanin")
+
+
+class Netlist:
+    """A named combinational circuit.
+
+    Nets are strings; every net is either a primary input or the output
+    of exactly one gate.  Evaluation is demand-driven over the cone of
+    the requested output.
+    """
+
+    def __init__(self, name: str, inputs: Sequence[str], outputs: Sequence[str]):
+        self.name = name
+        self.inputs: List[str] = list(inputs)
+        self.outputs: List[str] = list(outputs)
+        self.gates: Dict[str, Gate] = {}
+        self._input_index = {net: i for i, net in enumerate(self.inputs)}
+        if len(self._input_index) != len(self.inputs):
+            raise ValueError("duplicate input names")
+
+    def add_gate(self, gate: Gate) -> None:
+        if gate.output in self.gates or gate.output in self._input_index:
+            raise ValueError(f"net {gate.output!r} already driven")
+        self.gates[gate.output] = gate
+
+    def add(self, output: str, op: str, *fanins: str) -> str:
+        """Convenience gate constructor; returns the output net name."""
+        self.add_gate(Gate(output, op, tuple(fanins)))
+        return output
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def cone_inputs(self, net: str) -> List[str]:
+        """Primary inputs in the transitive fanin of ``net`` (input order)."""
+        seen: Set[str] = set()
+        found: Set[str] = set()
+        stack = [net]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if current in self._input_index:
+                found.add(current)
+                continue
+            gate = self.gates.get(current)
+            if gate is None:
+                raise KeyError(f"net {current!r} is undriven")
+            stack.extend(gate.fanins)
+        return sorted(found, key=self._input_index.__getitem__)
+
+    def validate(self) -> None:
+        """Check that every output cone is fully driven and acyclic."""
+        for out in self.outputs:
+            self._topo_order(out)
+
+    def _topo_order(self, net: str) -> List[str]:
+        order: List[str] = []
+        state: Dict[str, int] = {}
+
+        def visit(current: str, trail: Tuple[str, ...]) -> None:
+            if current in self._input_index or state.get(current) == 2:
+                return
+            if state.get(current) == 1:
+                raise ValueError(f"combinational cycle through {current!r}")
+            state[current] = 1
+            gate = self.gates.get(current)
+            if gate is None:
+                raise KeyError(f"net {current!r} is undriven")
+            for fi in gate.fanins:
+                visit(fi, trail + (current,))
+            state[current] = 2
+            order.append(current)
+
+        visit(net, ())
+        return order
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def _eval_gate(self, gate: Gate, values: Dict[str, TruthTable], n: int) -> TruthTable:
+        ins = [values[f] for f in gate.fanins]
+        op = gate.op
+        if op == "CONST0":
+            return TruthTable.zero(n)
+        if op == "CONST1":
+            return TruthTable.one(n)
+        if op == "BUF":
+            return ins[0]
+        if op == "NOT":
+            return ~ins[0]
+        if op in ("AND", "NAND"):
+            acc = TruthTable.one(n)
+            for v in ins:
+                acc = acc & v
+            return ~acc if op == "NAND" else acc
+        if op in ("OR", "NOR"):
+            acc = TruthTable.zero(n)
+            for v in ins:
+                acc = acc | v
+            return ~acc if op == "NOR" else acc
+        if op in ("XOR", "XNOR"):
+            acc = TruthTable.zero(n)
+            for v in ins:
+                acc = acc ^ v
+            return ~acc if op == "XNOR" else acc
+        if op == "MUX":
+            s, a, b = ins
+            return (~s & a) | (s & b)
+        if op == "MAJ":
+            if len(ins) != 3:
+                raise ValueError("MAJ takes exactly three fanins")
+            a, b, c = ins
+            return (a & b) | (a & c) | (b & c)
+        if op == "SOP":
+            acc = TruthTable.zero(n)
+            for row in gate.cover:
+                cube = Cube.from_string(row)
+                term = TruthTable.one(n)
+                for pos, positive in cube.literals():
+                    lit = ins[pos]
+                    term = term & (lit if positive else ~lit)
+                acc = acc | term
+            return acc if gate.cover_value else ~acc
+        raise AssertionError(op)
+
+    def output_function(self, net: str, max_support: int = 16) -> Tuple[TruthTable, Tuple[int, ...]]:
+        """Truth table of ``net`` over its structural cone inputs.
+
+        Returns ``(tt, support)``: the function over the cone inputs and
+        their circuit-level indices.  Raises ``ValueError`` when the cone
+        is wider than ``max_support`` (callers fall back to BDD-level
+        signatures for such outputs, as discussed in DESIGN.md).
+        """
+        cone = self.cone_inputs(net)
+        k = len(cone)
+        if k > max_support:
+            raise ValueError(
+                f"output {net!r} depends on {k} inputs (> cap {max_support})"
+            )
+        values: Dict[str, TruthTable] = {
+            name: TruthTable.var(k, pos) for pos, name in enumerate(cone)
+        }
+        for current in self._topo_order(net):
+            values[current] = self._eval_gate(self.gates[current], values, k)
+        tt = values[net] if net not in self._input_index else values[net]
+        return tt, tuple(self._input_index[name] for name in cone)
+
+    def output_functions(self, max_support: int = 16) -> List[Tuple[str, TruthTable, Tuple[int, ...]]]:
+        """``(name, tt, support)`` for every primary output within the cap."""
+        result = []
+        for out in self.outputs:
+            tt, support = self.output_function(out, max_support)
+            result.append((out, tt, support))
+        return result
+
+    def simulate(self, assignment: Dict[str, int]) -> Dict[str, int]:
+        """Bit-level simulation of all outputs for one input assignment."""
+        values: Dict[str, int] = {}
+        for name in self.inputs:
+            values[name] = assignment[name] & 1
+        result: Dict[str, int] = {}
+        for out in self.outputs:
+            for net in self._topo_order(out):
+                if net in values:
+                    continue
+                gate = self.gates[net]
+                scalar_ins = {f: values[f] for f in gate.fanins}
+                # Reuse the table evaluator on width-0 tables.
+                tables = {f: TruthTable(0, v) for f, v in scalar_ins.items()}
+                values[net] = self._eval_gate(gate, tables, 0).bits
+            result[out] = values[out] if out in values else values[out]
+        return result

@@ -1,0 +1,142 @@
+"""Espresso PLA format reader and writer.
+
+Handles the common two-level benchmark dialect: ``.i``, ``.o``, ``.p``,
+``.ilb``/``.ob`` labels, ``.type fd`` (the default), cube rows with a
+``0/1/-`` input plane and a ``0/1/~/-`` output plane, and ``.e``/
+``.end``.  Output-plane ``1`` adds the cube to that output's on-set;
+``0``, ``~`` and ``-`` leave the output untouched (don't-cares are
+resolved to 0, as the completely-specified pipeline requires).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.benchcircuits.netlist import Gate, Netlist
+from repro.boolfunc.cube import Cube, sop_to_truthtable
+from repro.boolfunc.truthtable import TruthTable
+
+
+@dataclass
+class Pla:
+    """A parsed PLA: shared input plane, one cube list per output."""
+
+    n_inputs: int
+    n_outputs: int
+    input_labels: Tuple[str, ...]
+    output_labels: Tuple[str, ...]
+    rows: Tuple[Tuple[str, str], ...]
+    """``(input_pattern, output_pattern)`` pairs, as read."""
+
+    def output_cubes(self, index: int) -> List[Cube]:
+        """Cubes contributing to output ``index``'s on-set."""
+        return [
+            Cube.from_string(pattern)
+            for pattern, outs in self.rows
+            if outs[index] == "1"
+        ]
+
+    def output_function(self, index: int) -> TruthTable:
+        """Output ``index`` as a function over all inputs."""
+        return sop_to_truthtable(self.n_inputs, self.output_cubes(index))
+
+    def to_netlist(self, name: str = "pla") -> Netlist:
+        """Wrap each output's cover as an SOP gate over all inputs."""
+        netlist = Netlist(name, list(self.input_labels), list(self.output_labels))
+        for idx, out in enumerate(self.output_labels):
+            rows = tuple(pattern for pattern, outs in self.rows if outs[idx] == "1")
+            if rows:
+                netlist.add_gate(Gate(out, "SOP", self.input_labels, rows, 1))
+            else:
+                netlist.add_gate(Gate(out, "CONST0"))
+        netlist.validate()
+        return netlist
+
+
+def parse_pla(text: str) -> Pla:
+    """Parse espresso PLA text."""
+    n_inputs = n_outputs = None
+    input_labels: List[str] = []
+    output_labels: List[str] = []
+    rows: List[Tuple[str, str]] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".i":
+                n_inputs = int(parts[1])
+            elif directive == ".o":
+                n_outputs = int(parts[1])
+            elif directive == ".ilb":
+                input_labels = parts[1:]
+            elif directive == ".ob":
+                output_labels = parts[1:]
+            elif directive in (".p", ".type", ".e", ".end"):
+                continue
+            else:
+                continue  # tolerate unknown directives
+        else:
+            parts = line.split()
+            if len(parts) == 1 and n_outputs is not None:
+                pattern = parts[0][:n_inputs]
+                outs = parts[0][n_inputs:]
+            elif len(parts) >= 2:
+                pattern, outs = parts[0], parts[1]
+            else:
+                raise ValueError(f"bad PLA row: {line!r}")
+            if n_inputs is not None and len(pattern) != n_inputs:
+                raise ValueError(f"input plane width mismatch: {line!r}")
+            if n_outputs is not None and len(outs) != n_outputs:
+                raise ValueError(f"output plane width mismatch: {line!r}")
+            rows.append((pattern, outs))
+    if n_inputs is None or n_outputs is None:
+        raise ValueError("PLA text lacks .i/.o declarations")
+    if not input_labels:
+        input_labels = [f"x{i}" for i in range(n_inputs)]
+    if not output_labels:
+        output_labels = [f"y{i}" for i in range(n_outputs)]
+    return Pla(
+        n_inputs=n_inputs,
+        n_outputs=n_outputs,
+        input_labels=tuple(input_labels),
+        output_labels=tuple(output_labels),
+        rows=tuple(rows),
+    )
+
+
+def write_pla(pla: Pla) -> str:
+    """Serialize back to espresso text."""
+    lines = [f".i {pla.n_inputs}", f".o {pla.n_outputs}"]
+    lines.append(".ilb " + " ".join(pla.input_labels))
+    lines.append(".ob " + " ".join(pla.output_labels))
+    lines.append(f".p {len(pla.rows)}")
+    for pattern, outs in pla.rows:
+        lines.append(f"{pattern} {outs}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"
+
+
+def functions_to_pla(functions: Sequence[TruthTable]) -> Pla:
+    """Build a (minterm-canonical) PLA from same-width truth tables."""
+    if not functions:
+        raise ValueError("need at least one function")
+    n = functions[0].n
+    if any(f.n != n for f in functions):
+        raise ValueError("mixed input widths")
+    rows: List[Tuple[str, str]] = []
+    for m in range(1 << n):
+        outs = "".join("1" if f.evaluate(m) else "0" for f in functions)
+        if "1" in outs:
+            pattern = "".join("1" if (m >> i) & 1 else "0" for i in range(n))
+            rows.append((pattern, outs))
+    return Pla(
+        n_inputs=n,
+        n_outputs=len(functions),
+        input_labels=tuple(f"x{i}" for i in range(n)),
+        output_labels=tuple(f"y{i}" for i in range(len(functions))),
+        rows=tuple(rows),
+    )

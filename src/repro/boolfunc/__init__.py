@@ -1,0 +1,36 @@
+"""Boolean function substrate: packed truth tables, cubes, transforms,
+decompositions, spectra."""
+
+from repro.boolfunc.cube import Cube, esop_to_truthtable, sop_to_truthtable
+from repro.boolfunc.dsd import Dsd, DsdNode, decompose, shape_signature
+from repro.boolfunc.espresso import EspressoResult, espresso
+from repro.boolfunc.isop import isop, isop_cover
+from repro.boolfunc.transform import (
+    NpnTransform,
+    all_transforms,
+    random_equivalent_pair,
+    transform_count,
+)
+from repro.boolfunc.truthtable import TruthTable
+from repro.boolfunc.walsh import spectrum_by_order, walsh_spectrum
+
+__all__ = [
+    "Cube",
+    "Dsd",
+    "DsdNode",
+    "NpnTransform",
+    "TruthTable",
+    "all_transforms",
+    "decompose",
+    "esop_to_truthtable",
+    "espresso",
+    "EspressoResult",
+    "isop",
+    "isop_cover",
+    "random_equivalent_pair",
+    "shape_signature",
+    "sop_to_truthtable",
+    "spectrum_by_order",
+    "transform_count",
+    "walsh_spectrum",
+]

@@ -1,0 +1,115 @@
+"""Cubes (product terms) over positive and negative literals.
+
+Two cube notions coexist in this code base:
+
+* **SOP cubes** (:class:`Cube` here): products of arbitrary-polarity
+  literals, as read from PLA files and cell definitions.
+* **GRM cubes** (plain ``int`` masks in :mod:`repro.grm.forms`): products
+  whose literal polarities are dictated by the GRM polarity vector, so a
+  bare variable-set mask suffices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+from repro.boolfunc.truthtable import TruthTable
+from repro.utils import bitops
+
+
+@dataclass(frozen=True)
+class Cube:
+    """A product term: ``AND`` of positive literals in ``pos`` and negative
+    literals in ``neg`` (both variable bit masks, necessarily disjoint)."""
+
+    pos: int
+    neg: int
+
+    def __post_init__(self) -> None:
+        if self.pos & self.neg:
+            raise ValueError("a variable cannot appear in both polarities")
+        if self.pos < 0 or self.neg < 0:
+            raise ValueError("literal masks must be non-negative")
+
+    @classmethod
+    def tautology(cls) -> "Cube":
+        """The empty cube (constant 1)."""
+        return cls(0, 0)
+
+    @classmethod
+    def from_string(cls, text: str) -> "Cube":
+        """Parse PLA-style cube text: position ``i`` holds ``0``/``1``/``-``."""
+        pos = neg = 0
+        for i, ch in enumerate(text.strip()):
+            if ch == "1":
+                pos |= 1 << i
+            elif ch == "0":
+                neg |= 1 << i
+            elif ch not in "-~2":
+                raise ValueError(f"bad cube character {ch!r} in {text!r}")
+        return cls(pos, neg)
+
+    def to_string(self, n: int) -> str:
+        """Render as a PLA-style string of width ``n``."""
+        chars = []
+        for i in range(n):
+            if (self.pos >> i) & 1:
+                chars.append("1")
+            elif (self.neg >> i) & 1:
+                chars.append("0")
+            else:
+                chars.append("-")
+        return "".join(chars)
+
+    @property
+    def support(self) -> int:
+        """Mask of the variables appearing in the cube."""
+        return self.pos | self.neg
+
+    def size(self) -> int:
+        """Number of literals (the paper's cube length ``|p|``)."""
+        return bitops.popcount(self.support)
+
+    def contains_minterm(self, m: int) -> bool:
+        """True when the cube covers minterm index ``m``."""
+        return (m & self.pos) == self.pos and (m & self.neg) == 0
+
+    def literals(self) -> Iterator[Tuple[int, bool]]:
+        """Yield ``(variable, is_positive)`` pairs in variable order."""
+        for i in bitops.iter_bits(self.support):
+            yield i, bool((self.pos >> i) & 1)
+
+    def to_truthtable(self, n: int) -> TruthTable:
+        """The cube as a function on ``n`` variables."""
+        if self.support >> n:
+            raise ValueError("cube uses variables beyond the declared width")
+        f = TruthTable.one(n)
+        for var, positive in self.literals():
+            lit = TruthTable.var(n, var)
+            f = f & (lit if positive else ~lit)
+        return f
+
+    def __str__(self) -> str:
+        if self.support == 0:
+            return "1"
+        terms = []
+        for var, positive in self.literals():
+            terms.append(f"x{var}" if positive else f"~x{var}")
+        return "*".join(terms)
+
+
+def sop_to_truthtable(n: int, cubes: Iterable[Cube]) -> TruthTable:
+    """OR of the given cubes as an ``n``-variable function."""
+    f = TruthTable.zero(n)
+    for cube in cubes:
+        f = f | cube.to_truthtable(n)
+    return f
+
+
+def esop_to_truthtable(n: int, cubes: Iterable[Cube]) -> TruthTable:
+    """XOR of the given cubes as an ``n``-variable function."""
+    f = TruthTable.zero(n)
+    for cube in cubes:
+        f = f ^ cube.to_truthtable(n)
+    return f

@@ -1,0 +1,224 @@
+"""Two-level SOP minimization (espresso-style expand/irredundant/reduce).
+
+The MCNC benchmarks were distributed as two-level PLA covers minimized
+with espresso; this module provides the same service for the covers the
+library writes out.  The classic loop over a cube cover:
+
+* **expand** — grow each cube by dropping literals while it stays inside
+  the ON ∪ DC set, then discard cubes swallowed by larger ones;
+* **irredundant** — drop cubes whose ON-set contribution is covered by
+  the rest;
+* **reduce** — shrink each cube to the supercube of its *essential*
+  minterms, freeing room for a different expansion on the next pass.
+
+All containment checks are packed-table operations.  The result is a
+verified cover of the ON-set within the DC bound; optimality is
+heuristic (like espresso's), and the tests assert correctness,
+irredundancy, and non-inferiority to the ISOP starting point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.boolfunc.cube import Cube
+from repro.boolfunc.isop import isop
+from repro.boolfunc.truthtable import TruthTable
+from repro.utils import bitops
+
+
+@dataclass(frozen=True)
+class EspressoResult:
+    """Outcome of a two-level minimization run."""
+
+    cubes: Tuple[Cube, ...]
+    initial_count: int
+    passes: int
+
+    @property
+    def cube_count(self) -> int:
+        return len(self.cubes)
+
+    def literal_count(self) -> int:
+        return sum(c.size() for c in self.cubes)
+
+    def to_truthtable(self, n: int) -> TruthTable:
+        acc = TruthTable.zero(n)
+        for c in self.cubes:
+            acc = acc | c.to_truthtable(n)
+        return acc
+
+
+def _cube_bits(cube: Cube, n: int) -> int:
+    return cube.to_truthtable(n).bits
+
+
+def _cover_bits(cubes: List[Cube], n: int) -> int:
+    acc = 0
+    for c in cubes:
+        acc |= _cube_bits(c, n)
+    return acc
+
+
+def _cost(cubes: List[Cube]) -> Tuple[int, int]:
+    return (len(cubes), sum(c.size() for c in cubes))
+
+
+def _expand(cubes: List[Cube], upper_bits: int, onset_bits: int, n: int) -> List[Cube]:
+    """Grow cubes maximally within the upper bound; drop swallowed cubes.
+
+    Literal removal is *steered*: at each step the removable literal
+    adding the most still-uncovered ON minterms is dropped, so expanded
+    cubes reach over their neighbours' territory and make them
+    redundant — the mechanism by which expand+irredundant shrinks the
+    cover.
+    """
+    order = sorted(range(len(cubes)), key=lambda k: cubes[k].size())
+    expanded: List[Cube] = []
+    expanded_bits: List[int] = []
+    covered = 0
+    for k in order:
+        cube = cubes[k]
+        bits = _cube_bits(cube, n)
+        if bits & ~covered == 0 and any(
+            bits & ~other == 0 for other in expanded_bits
+        ):
+            continue  # already swallowed
+        while True:
+            best_var = None
+            best_bits = 0
+            best_gain = -1
+            for var in bitops.bits_of(cube.support):
+                trial = Cube(cube.pos & ~(1 << var), cube.neg & ~(1 << var))
+                trial_bits = _cube_bits(trial, n)
+                if trial_bits & ~upper_bits:
+                    continue
+                gain = bitops.popcount(trial_bits & onset_bits & ~covered)
+                if gain > best_gain:
+                    best_gain = gain
+                    best_var = var
+                    best_bits = trial_bits
+            if best_var is None:
+                break
+            cube = Cube(cube.pos & ~(1 << best_var), cube.neg & ~(1 << best_var))
+            bits = best_bits
+        keep: List[int] = []
+        for idx, other in enumerate(expanded_bits):
+            if other & ~bits == 0:
+                continue  # swallowed by the new cube
+            keep.append(idx)
+        expanded = [expanded[i] for i in keep] + [cube]
+        expanded_bits = [expanded_bits[i] for i in keep] + [bits]
+        covered = 0
+        for b in expanded_bits:
+            covered |= b
+    return expanded
+
+
+def _irredundant(cubes: List[Cube], onset_bits: int, n: int) -> List[Cube]:
+    """Rebuild a minimal-ish cover by greedy set cover.
+
+    Essential cubes (sole coverers of some ON minterm) are kept first;
+    the rest are added largest-contribution-first until the ON-set is
+    covered.
+    """
+    if not cubes:
+        return []
+    bits = [_cube_bits(c, n) for c in cubes]
+    union_others = []
+    for k in range(len(cubes)):
+        rest = 0
+        for idx, b in enumerate(bits):
+            if idx != k:
+                rest |= b
+        union_others.append(rest)
+    chosen = [
+        k for k in range(len(cubes)) if bits[k] & onset_bits & ~union_others[k]
+    ]
+    covered = 0
+    for k in chosen:
+        covered |= bits[k]
+    remaining = set(range(len(cubes))) - set(chosen)
+    while onset_bits & ~covered:
+        best_k = None
+        best_gain = (-1, 0)
+        for k in sorted(remaining):
+            gain = (bitops.popcount(bits[k] & onset_bits & ~covered), -cubes[k].size())
+            if gain > best_gain:
+                best_gain = gain
+                best_k = k
+        assert best_k is not None  # the full list always covers the on-set
+        chosen.append(best_k)
+        remaining.discard(best_k)
+        covered |= bits[best_k]
+    chosen.sort()
+    return [cubes[k] for k in chosen]
+
+
+def _reduce(cubes: List[Cube], onset_bits: int, n: int) -> List[Cube]:
+    """Shrink cubes to the supercubes of their essential ON minterms.
+
+    Processed *sequentially* (each step sees the already-reduced
+    neighbours), which keeps the union covering the ON-set — reducing
+    all cubes simultaneously would drop every jointly-covered minterm.
+    """
+    cubes = list(cubes)
+    bits = [_cube_bits(c, n) for c in cubes]
+    order = sorted(range(len(cubes)), key=lambda k: (-cubes[k].size(), k))
+    for k in order:
+        others = 0
+        for idx, b in enumerate(bits):
+            if idx != k:
+                others |= b
+        essential = bits[k] & onset_bits & ~others
+        if essential == 0:
+            continue  # fully redundant here; irredundant removes it later
+        pos = neg = (1 << n) - 1
+        for m in bitops.iter_bits(essential):
+            pos &= m
+            neg &= ~m
+        cubes[k] = Cube(pos, neg)
+        bits[k] = _cube_bits(cubes[k], n)
+    return cubes
+
+
+def espresso(
+    onset: TruthTable,
+    dcset: Optional[TruthTable] = None,
+    max_passes: int = 8,
+) -> EspressoResult:
+    """Minimize a SOP cover of ``onset`` (don't-cares in ``dcset``)."""
+    n = onset.n
+    if dcset is None:
+        dcset = TruthTable.zero(n)
+    if dcset.n != n:
+        raise ValueError("don't-care set width mismatch")
+    if onset.bits & dcset.bits:
+        raise ValueError("ON and DC sets must be disjoint")
+    upper = onset | dcset
+    cover = isop(onset, upper)
+    initial = len(cover)
+    if not cover:
+        return EspressoResult((), initial, 0)
+
+    onset_bits = onset.bits
+    upper_bits = upper.bits
+    cover = _irredundant(_expand(cover, upper_bits, onset_bits, n), onset_bits, n)
+    best = list(cover)
+    best_cost = _cost(best)
+    passes = 1
+    while passes < max_passes:
+        passes += 1
+        # reduce → expand → irredundant is the cycle that escapes the
+        # current local optimum; stop when it no longer pays.
+        candidate = _reduce(cover, onset_bits, n)
+        candidate = _expand(candidate, upper_bits, onset_bits, n)
+        candidate = _irredundant(candidate, onset_bits, n)
+        cost = _cost(candidate)
+        if cost < best_cost:
+            best, best_cost = list(candidate), cost
+            cover = candidate
+        else:
+            break
+    return EspressoResult(tuple(best), initial, passes)

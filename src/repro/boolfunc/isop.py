@@ -1,0 +1,92 @@
+"""Irredundant sum-of-products covers (Minato-Morreale ISOP).
+
+The benchmark circuits ship their outputs as SOP covers; writing a
+function back out as its full minterm list is correct but explodes the
+netlist.  This module computes an *irredundant* SOP cover with the
+classic Minato-Morreale interval recursion: ``isop(L, U)`` returns a
+cube cover ``C`` with ``L ≤ C ≤ U`` (pointwise), no cube removable.
+For completely specified functions call it with ``L = U = f``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.boolfunc.cube import Cube
+from repro.boolfunc.truthtable import TruthTable
+
+
+def isop(lower: TruthTable, upper: TruthTable) -> List[Cube]:
+    """An irredundant cover ``C`` with ``lower ≤ C ≤ upper``.
+
+    ``lower`` must imply ``upper``; the don't-care set is their
+    difference.  The recursion splits on the lowest-index variable in
+    the support of either bound.
+    """
+    if lower.n != upper.n:
+        raise ValueError("bound width mismatch")
+    if (lower.bits & ~upper.bits) != 0:
+        raise ValueError("lower bound does not imply upper bound")
+    cubes, _ = _isop(lower, upper, 0)
+    return cubes
+
+
+def _isop(lower: TruthTable, upper: TruthTable, var: int) -> Tuple[List[Cube], TruthTable]:
+    """Returns ``(cover, cover_function)`` over variables ``var..n-1``."""
+    n = lower.n
+    if lower.bits == 0:
+        return [], TruthTable.zero(n)
+    if upper.is_constant() and upper.bits != 0:
+        return [Cube.tautology()], TruthTable.one(n)
+    # Find the splitting variable: the first one either bound depends on.
+    x = var
+    while x < n and not (lower.depends_on(x) or upper.depends_on(x)):
+        x += 1
+    if x == n:  # pragma: no cover - constants handled above
+        return [Cube.tautology()], TruthTable.one(n)
+
+    l0, l1 = lower.cofactor(x, 0), lower.cofactor(x, 1)
+    u0, u1 = upper.cofactor(x, 0), upper.cofactor(x, 1)
+
+    # Parts that genuinely need the negative / positive literal.
+    c0, g0 = _isop(l0 & ~u1, u0, x + 1)
+    c1, g1 = _isop(l1 & ~u0, u1, x + 1)
+
+    # What remains after the literal parts cover their share.
+    l0_rest = l0 & ~g0
+    l1_rest = l1 & ~g1
+    cd, gd = _isop(l0_rest | l1_rest, u0 & u1, x + 1)
+
+    xneg = 1 << x
+    cover = (
+        [Cube(c.pos, c.neg | xneg) for c in c0]
+        + [Cube(c.pos | xneg, c.neg) for c in c1]
+        + cd
+    )
+    xvar = TruthTable.var(n, x)
+    cover_fn = (~xvar & g0) | (xvar & g1) | gd
+    return cover, cover_fn
+
+
+def isop_cover(f: TruthTable) -> List[Cube]:
+    """Irredundant SOP of a completely specified function."""
+    return isop(f, f)
+
+
+def cover_is_irredundant(f_lower: TruthTable, f_upper: TruthTable, cubes: List[Cube]) -> bool:
+    """Check that no cube can be dropped while still covering ``f_lower``."""
+    n = f_lower.n
+    tables = [c.to_truthtable(n) for c in cubes]
+    total = TruthTable.zero(n)
+    for t in tables:
+        total = total | t
+    if (f_lower.bits & ~total.bits) != 0 or (total.bits & ~f_upper.bits) != 0:
+        return False
+    for skip in range(len(tables)):
+        rest = TruthTable.zero(n)
+        for idx, t in enumerate(tables):
+            if idx != skip:
+                rest = rest | t
+        if (f_lower.bits & ~rest.bits) == 0:
+            return False
+    return True

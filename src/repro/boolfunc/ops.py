@@ -1,0 +1,123 @@
+"""Constructors for common function families.
+
+These feed the cell library, the MCNC stand-in generators, and the
+symmetry/matching test workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.boolfunc.truthtable import TruthTable
+from repro.utils import bitops
+
+
+def and_all(n: int, vars_mask: int | None = None) -> TruthTable:
+    """AND of the selected variables (all ``n`` by default)."""
+    mask = bitops.table_mask(n) if vars_mask is None else None
+    f = TruthTable.one(n)
+    for i in range(n):
+        if vars_mask is None or (vars_mask >> i) & 1:
+            f = f & TruthTable.var(n, i)
+    return f
+
+
+def or_all(n: int, vars_mask: int | None = None) -> TruthTable:
+    """OR of the selected variables (all ``n`` by default)."""
+    f = TruthTable.zero(n)
+    for i in range(n):
+        if vars_mask is None or (vars_mask >> i) & 1:
+            f = f | TruthTable.var(n, i)
+    return f
+
+
+def xor_all(n: int, vars_mask: int | None = None) -> TruthTable:
+    """XOR of the selected variables (all ``n`` by default)."""
+    f = TruthTable.zero(n)
+    for i in range(n):
+        if vars_mask is None or (vars_mask >> i) & 1:
+            f = f ^ TruthTable.var(n, i)
+    return f
+
+
+def linear_function(n: int, vars_mask: int, constant: int = 0) -> TruthTable:
+    """``c0 ⊕ x_a ⊕ x_b ⊕ ...`` over the variables in ``vars_mask``.
+
+    This is the paper's *linear function* (Section 5.4), used to break
+    balanced variables during polarity selection.
+    """
+    f = xor_all(n, vars_mask)
+    return ~f if constant else f
+
+
+def symmetric_function(n: int, value_vector: Sequence[int]) -> TruthTable:
+    """Totally symmetric function from its value vector.
+
+    ``value_vector[k]`` is the output when exactly ``k`` inputs are 1;
+    it must have ``n + 1`` entries.
+    """
+    if len(value_vector) != n + 1:
+        raise ValueError("value vector must have n + 1 entries")
+    bits = 0
+    for m in range(1 << n):
+        if value_vector[bitops.popcount(m)]:
+            bits |= 1 << m
+    return TruthTable(n, bits)
+
+
+def threshold(n: int, k: int) -> TruthTable:
+    """1 when at least ``k`` of the ``n`` inputs are 1."""
+    return symmetric_function(n, [1 if c >= k else 0 for c in range(n + 1)])
+
+
+def exactly(n: int, k: int) -> TruthTable:
+    """1 when exactly ``k`` of the ``n`` inputs are 1."""
+    return symmetric_function(n, [1 if c == k else 0 for c in range(n + 1)])
+
+
+def majority(n: int) -> TruthTable:
+    """Majority of ``n`` inputs (strict majority for even ``n``)."""
+    return threshold(n, n // 2 + 1)
+
+
+def mux(n: int = 3) -> TruthTable:
+    """2:1 multiplexer ``x2 ? x1 : x0`` (``n`` must be 3)."""
+    if n != 3:
+        raise ValueError("mux is defined on exactly 3 variables")
+    s = TruthTable.var(3, 2)
+    return (s & TruthTable.var(3, 1)) | (~s & TruthTable.var(3, 0))
+
+
+def interval_function(n: int, lo: int, hi: int) -> TruthTable:
+    """1 when the weight of the input falls in ``[lo, hi]`` inclusive."""
+    return symmetric_function(n, [1 if lo <= c <= hi else 0 for c in range(n + 1)])
+
+
+def adder_sum_bit(n_bits: int, position: int) -> TruthTable:
+    """Bit ``position`` of the sum of two ``n_bits``-wide unsigned operands.
+
+    Inputs: ``x_0..x_{n_bits-1}`` = operand A (LSB first), then operand B.
+    Used by the arithmetic MCNC stand-ins (``z4ml``-style functions).
+    """
+    n = 2 * n_bits
+    if not 0 <= position <= n_bits:
+        raise ValueError("sum bit position out of range")
+
+    def fn(assignment):
+        a = sum(assignment[i] << i for i in range(n_bits))
+        b = sum(assignment[n_bits + i] << i for i in range(n_bits))
+        return ((a + b) >> position) & 1
+
+    return TruthTable.from_function(n, fn)
+
+
+def comparator_greater(n_bits: int) -> TruthTable:
+    """``A > B`` for two ``n_bits``-wide unsigned operands (layout as above)."""
+    n = 2 * n_bits
+
+    def fn(assignment):
+        a = sum(assignment[i] << i for i in range(n_bits))
+        b = sum(assignment[n_bits + i] << i for i in range(n_bits))
+        return int(a > b)
+
+    return TruthTable.from_function(n, fn)

@@ -1,0 +1,132 @@
+"""Seeded random-function workload generators.
+
+Every benchmark and property test draws its functions from here so that
+results are reproducible run-to-run.  Beyond uniformly random tables, the
+generators produce the structured families the experiments need: random
+SOPs (random-logic-like), functions with planted symmetries, and
+functions engineered to keep variables balanced (the matcher's hard
+case).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.boolfunc.cube import Cube, sop_to_truthtable
+from repro.boolfunc.ops import symmetric_function
+from repro.boolfunc.truthtable import TruthTable
+
+
+def random_sop(n: int, n_cubes: int, rng: random.Random, literal_prob: float = 0.5) -> TruthTable:
+    """OR of ``n_cubes`` random cubes; each variable enters a cube with
+    probability ``literal_prob`` and then picks a random polarity."""
+    cubes: List[Cube] = []
+    for _ in range(n_cubes):
+        pos = neg = 0
+        for i in range(n):
+            if rng.random() < literal_prob:
+                if rng.getrandbits(1):
+                    pos |= 1 << i
+                else:
+                    neg |= 1 << i
+        cubes.append(Cube(pos, neg))
+    return sop_to_truthtable(n, cubes)
+
+
+def random_nondegenerate(n: int, rng: random.Random, max_tries: int = 64) -> TruthTable:
+    """A random function that depends on every one of its ``n`` variables."""
+    for _ in range(max_tries):
+        f = TruthTable.random(n, rng)
+        if f.support() == (1 << n) - 1:
+            return f
+    raise RuntimeError("could not draw a non-degenerate function")
+
+
+def random_with_planted_symmetry(
+    n: int, pair: Tuple[int, int], kind: str, rng: random.Random
+) -> TruthTable:
+    """A random function with the requested symmetry planted on ``pair``.
+
+    ``kind`` is one of ``"NE"``, ``"E"``, ``"skew-NE"``, ``"skew-E"``
+    (the paper's four two-variable symmetry types, Section 5).  The
+    construction fixes the relation between the four two-variable
+    cofactors and randomizes everything else.
+    """
+    i, j = pair
+    if i == j:
+        raise ValueError("symmetry pair must name two distinct variables")
+
+    def quadrant() -> TruthTable:
+        # A random function independent of the pair, so that it can play
+        # the role of a two-variable cofactor.
+        return TruthTable.random(n, rng).cofactor(i, 0).cofactor(j, 0)
+
+    f00, f01, f11 = quadrant(), quadrant(), quadrant()
+    if kind == "NE":
+        f10 = f01
+    elif kind == "skew-NE":
+        f10 = ~f01
+    elif kind == "E":
+        f11 = f00
+        f10 = quadrant()
+    elif kind == "skew-E":
+        f11 = ~f00
+        f10 = quadrant()
+    else:
+        raise ValueError(f"unknown symmetry kind {kind!r}")
+
+    xi = TruthTable.var(n, i)
+    xj = TruthTable.var(n, j)
+    return (
+        (~xi & ~xj & f00)
+        | (~xi & xj & f01)
+        | (xi & ~xj & f10)
+        | (xi & xj & f11)
+    )
+
+
+def random_balanced_function(n: int, rng: random.Random, max_tries: int = 2000) -> TruthTable:
+    """A function in which *every* variable is balanced.
+
+    This is the matcher's hard case (Sections 6.1-6.2): no M-pole exists
+    for any variable, so the linear-function trick (and possibly extra
+    GRMs) is needed.  Construction: make the function invariant under
+    complementing all inputs, ``f(x) = f(~x)``, by assigning one random
+    value per complementary minterm pair.  The complement map then pairs
+    the ``x_i = 1`` on-set with the ``x_i = 0`` on-set bijectively for
+    every ``i``, so all cofactor weights agree.  Rejection keeps only
+    functions depending on all variables.
+    """
+    if n < 1:
+        raise ValueError("need at least one variable")
+    full = (1 << n) - 1
+    for _ in range(max_tries):
+        bits = 0
+        for m in range(1 << n):
+            partner = m ^ full
+            if m > partner:
+                continue
+            if rng.getrandbits(1):
+                bits |= (1 << m) | (1 << partner)
+        f = TruthTable(n, bits)
+        if f.support() == full:
+            return f
+    raise RuntimeError("could not construct an all-balanced function")
+
+
+def random_symmetric(n: int, rng: random.Random) -> TruthTable:
+    """A random totally symmetric function (non-constant)."""
+    while True:
+        vec = [rng.getrandbits(1) for _ in range(n + 1)]
+        if any(vec) and not all(vec):
+            return symmetric_function(n, vec)
+
+
+def random_unate_in(n: int, i: int, rng: random.Random) -> TruthTable:
+    """A random function positive-unate in ``x_i`` (so ``x_i`` is unbalanced
+    unless the two cofactors coincide)."""
+    c0 = TruthTable.random(n, rng).cofactor(i, 0)
+    c1 = (c0 | TruthTable.random(n, rng)).cofactor(i, 0)
+    xi = TruthTable.var(n, i)
+    return (~xi & c0) | (xi & c1)

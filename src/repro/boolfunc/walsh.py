@@ -1,0 +1,98 @@
+"""Walsh-Hadamard spectra of Boolean functions.
+
+The other classic signature source in the Boolean-matching literature
+(spectral methods; cf. the paper's references on signatures): the Walsh
+spectrum ``R(w) = Σ_x (-1)^(f(x) ⊕ w·x)`` collects the correlations of
+``f`` with every linear function.  Under input permutation the spectrum
+permutes (by the same reindexing of ``w``), under input negation the
+coefficients whose ``w`` touches the negated variable flip sign, and
+under output negation the entire spectrum flips sign — so coefficient
+*magnitudes*, bucketed by the order ``|w|``, are npn-invariant
+signatures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.boolfunc.truthtable import TruthTable
+from repro.utils import bitops
+
+
+def walsh_spectrum(f: TruthTable) -> List[int]:
+    """The full spectrum, indexed by the linear-function mask ``w``.
+
+    ``R(0)`` is ``2**n - 2|f|``; Parseval gives ``Σ R(w)² = 4**n``.
+    """
+    n = f.n
+    values = [1 - 2 * ((f.bits >> m) & 1) for m in range(1 << n)]
+    stride = 1
+    while stride < (1 << n):
+        for base in range(0, 1 << n, stride << 1):
+            for k in range(base, base + stride):
+                a, b = values[k], values[k + stride]
+                values[k], values[k + stride] = a + b, a - b
+        stride <<= 1
+    return values
+
+
+def spectrum_by_order(f: TruthTable) -> Dict[int, Tuple[int, ...]]:
+    """Coefficient magnitudes bucketed by the order ``popcount(w)``.
+
+    Each bucket is sorted; the whole structure is npn-invariant and
+    serves as a function-level signature.
+    """
+    spectrum = walsh_spectrum(f)
+    buckets: Dict[int, List[int]] = {}
+    for w, value in enumerate(spectrum):
+        buckets.setdefault(bitops.popcount(w), []).append(abs(value))
+    return {order: tuple(sorted(vals)) for order, vals in buckets.items()}
+
+
+def first_order_coefficient(f: TruthTable, i: int) -> int:
+    """``R(e_i)``: the correlation of ``f`` with ``x_i``."""
+    return walsh_spectrum(f)[1 << i]
+
+
+def variable_spectral_key(f: TruthTable, i: int, max_order: int = 2) -> Tuple:
+    """An npn-invariant per-variable key from the spectrum.
+
+    For each order up to ``max_order``, the sorted magnitudes of the
+    coefficients whose mask contains variable ``i``.
+    """
+    spectrum = walsh_spectrum(f)
+    per_order: Dict[int, List[int]] = {}
+    for w, value in enumerate(spectrum):
+        if not (w >> i) & 1:
+            continue
+        order = bitops.popcount(w)
+        if order > max_order:
+            continue
+        per_order.setdefault(order, []).append(abs(value))
+    return tuple(
+        (order, tuple(sorted(vals))) for order, vals in sorted(per_order.items())
+    )
+
+
+def inverse_walsh(spectrum: List[int]) -> TruthTable:
+    """Reconstruct the function from its spectrum (exact inverse)."""
+    size = len(spectrum)
+    n = size.bit_length() - 1
+    if 1 << n != size:
+        raise ValueError("spectrum length must be a power of two")
+    values = list(spectrum)
+    stride = 1
+    while stride < size:
+        for base in range(0, size, stride << 1):
+            for k in range(base, base + stride):
+                a, b = values[k], values[k + stride]
+                values[k], values[k + stride] = a + b, a - b
+        stride <<= 1
+    bits = 0
+    for m, v in enumerate(values):
+        scaled = v >> n  # divide by 2**n
+        if scaled == -1:
+            bits |= 1 << m
+        elif scaled != 1:
+            raise ValueError("not a valid ±1 spectrum")
+    return TruthTable(n, bits)

@@ -1,0 +1,314 @@
+"""Command-line interface: ``grm-match`` (also ``python -m repro.cli``).
+
+Subcommands::
+
+    match FILE_A FILE_B        npn-match two single-output functions
+    verify FILE_A FILE_B       circuit-level correspondence (multi-output)
+    classify FILE              group a circuit's outputs into npn classes
+    symmetries FILE            report variable symmetries per output
+    minimize FILE              minimum-cube FPRM polarity per output
+    map FILE                   AIG technology mapping onto the library
+    table1 [NAMES...]          run the paper's Table 1 experiment
+    bench-info NAME            describe a built-in benchmark circuit
+
+``FILE`` is a ``.pla`` or ``.blif`` file, or ``bench:NAME[:OUTPUT]`` to
+reference a built-in benchmark circuit from the Table-1 suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.benchcircuits import build_circuit, circuit_names, get_spec, parse_blif, parse_pla
+from repro.benchcircuits.generators import BenchmarkCircuit, OutputFunction
+from repro.boolfunc.truthtable import TruthTable
+from repro.core.canonical import canonical_form
+from repro.core.circuitmatch import match_circuits
+from repro.core.differentiate import differentiate_circuit
+from repro.core.matcher import match
+from repro.core.polarity import decide_polarity_primary
+from repro.core.symmetry import all_pair_symmetries_via_grm, linear_variables
+from repro.grm.forms import Grm
+from repro.grm.minimize import minimize_exact, minimize_greedy
+
+
+def _shrink(name: str, tt: TruthTable, support: Sequence[int]) -> OutputFunction:
+    reduced, keep = tt.project_to_support()
+    return OutputFunction(name, reduced, tuple(support[k] for k in keep))
+
+
+def load_circuit(ref: str, max_support: int = 16) -> BenchmarkCircuit:
+    """Load ``.pla`` / ``.blif`` / ``bench:NAME`` into output-function form."""
+    if ref.startswith("bench:"):
+        parts = ref.split(":")
+        circuit = build_circuit(parts[1])
+        if len(parts) > 2:
+            wanted = parts[2]
+            picked = [o for o in circuit.outputs if o.name == wanted]
+            if not picked:
+                raise SystemExit(f"no output {wanted!r} in benchmark {parts[1]!r}")
+            return BenchmarkCircuit(circuit.name, circuit.n_inputs, picked)
+        return circuit
+    path = Path(ref)
+    text = path.read_text()
+    if path.suffix == ".pla":
+        pla = parse_pla(text)
+        circuit = BenchmarkCircuit(path.stem, pla.n_inputs)
+        for idx, label in enumerate(pla.output_labels):
+            tt = pla.output_function(idx)
+            circuit.outputs.append(_shrink(label, tt, tuple(range(pla.n_inputs))))
+        return circuit
+    if path.suffix == ".blif":
+        netlist = parse_blif(text)
+        circuit = BenchmarkCircuit(netlist.name, len(netlist.inputs))
+        for out in netlist.outputs:
+            tt, support = netlist.output_function(out, max_support=max_support)
+            circuit.outputs.append(OutputFunction(out, tt, support))
+        return circuit
+    raise SystemExit(f"unsupported file type: {ref!r} (.pla, .blif or bench:NAME)")
+
+
+def _single_output(circuit: BenchmarkCircuit, ref: str) -> OutputFunction:
+    if len(circuit.outputs) != 1:
+        raise SystemExit(
+            f"{ref!r} has {len(circuit.outputs)} outputs; select one with "
+            f"bench:NAME:OUTPUT or a single-output file"
+        )
+    return circuit.outputs[0]
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+def cmd_match(args: argparse.Namespace) -> int:
+    a = _single_output(load_circuit(args.file_a), args.file_a)
+    b = _single_output(load_circuit(args.file_b), args.file_b)
+    if a.table.n != b.table.n:
+        print(f"not matchable: support sizes differ ({a.table.n} vs {b.table.n})")
+        return 1
+    start = time.perf_counter()
+    transform = match(a.table, b.table, allow_output_neg=not args.np_only)
+    elapsed = (time.perf_counter() - start) * 1e3
+    if transform is None:
+        print(f"NOT equivalent ({elapsed:.2f} ms)")
+        return 1
+    print(f"npn-equivalent ({elapsed:.2f} ms)")
+    print("transform:", transform.describe())
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    spec = load_circuit(args.file_a)
+    impl = load_circuit(args.file_b)
+    start = time.perf_counter()
+    corr = match_circuits(spec, impl)
+    elapsed = time.perf_counter() - start
+    if corr is None:
+        print(f"NOT equivalent ({elapsed:.3f} s)")
+        return 1
+    print(f"equivalent ({elapsed:.3f} s)")
+    for i, (j, phase) in enumerate(zip(corr.output_mapping, corr.output_phases)):
+        inv = " (inverted)" if phase else ""
+        print(f"  output {spec.outputs[i].name} -> {impl.outputs[j].name}{inv}")
+    pins = ", ".join(
+        f"{a}->{'~' if (corr.input_phases >> a) & 1 else ''}{b}"
+        for a, b in enumerate(corr.input_mapping)
+    )
+    print(f"  inputs: {pins}")
+    return 0
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    circuit = load_circuit(args.file)
+    classes: dict = {}
+    for out in circuit.outputs:
+        canon, _ = canonical_form(out.table)
+        classes.setdefault((out.table.n, canon.bits), []).append(out.name)
+    print(f"{circuit.name}: {len(circuit.outputs)} outputs, {len(classes)} npn classes")
+    for idx, ((n, bits), members) in enumerate(sorted(classes.items())):
+        print(f"  class {idx} (n={n}, canon=0x{bits:x}): {', '.join(members)}")
+    return 0
+
+
+def cmd_symmetries(args: argparse.Namespace) -> int:
+    circuit = load_circuit(args.file)
+    for out in circuit.outputs:
+        pairs = all_pair_symmetries_via_grm(out.table)
+        symmetric = {p: k for p, k in pairs.items() if k}
+        lin = linear_variables(out.table)
+        print(f"output {out.name} (support {list(out.support)}):")
+        if not symmetric and not lin:
+            print("  no symmetries")
+        for (i, j), kinds in sorted(symmetric.items()):
+            gi, gj = out.support[i], out.support[j]
+            print(f"  x{gi}, x{gj}: {', '.join(sorted(kinds))}")
+        if lin:
+            names = [f"x{out.support[i]}" for i in range(out.table.n) if (lin >> i) & 1]
+            print(f"  linear: {', '.join(names)}")
+    return 0
+
+
+def cmd_minimize(args: argparse.Namespace) -> int:
+    circuit = load_circuit(args.file)
+    for out in circuit.outputs:
+        n = out.table.n
+        mpole = decide_polarity_primary(out.table).polarity
+        mpole_cubes = Grm.from_truthtable(out.table, mpole).num_cubes()
+        if n <= args.exact_limit:
+            res = minimize_exact(out.table, objective=args.objective)
+            how = "exact"
+        else:
+            res = minimize_greedy(out.table, objective=args.objective)
+            how = "greedy"
+        print(
+            f"{out.name}: n={n} M-pole cubes={mpole_cubes} "
+            f"minimum={res.cube_count} (polarity {res.polarity:0{n}b}, {how}, "
+            f"{res.literal_count} literals)"
+        )
+    return 0
+
+
+def cmd_decompose(args: argparse.Namespace) -> int:
+    from repro.boolfunc.dsd import decompose
+    from repro.grm.esop import minimize_esop
+
+    circuit = load_circuit(args.file)
+    for out in circuit.outputs:
+        d = decompose(out.table)
+        line = f"{out.name}: {d.describe()}"
+        if args.esop:
+            res = minimize_esop(out.table)
+            line += f"  [ESOP: {res.initial_count} GRM cubes -> {res.cube_count}]"
+        print(line)
+    return 0
+
+
+def cmd_map(args: argparse.Namespace) -> int:
+    from repro.aig import Aig, AigMapper
+
+    circuit = load_circuit(args.file)
+    aig = Aig.from_netlist(circuit.to_netlist())
+    mapper = AigMapper(cut_size=args.cut_size)
+    start = time.perf_counter()
+    result = mapper.map(aig)
+    elapsed = time.perf_counter() - start
+    if result is None:
+        print("mapping failed: library cannot cover the subject")
+        return 1
+    print(
+        f"{circuit.name}: {aig.num_ands()} AND nodes -> "
+        f"{len(result.nodes)} cells, area {result.area:.1f} ({elapsed:.2f} s)"
+    )
+    for cell, count in sorted(result.cell_histogram().items(), key=lambda kv: -kv[1]):
+        print(f"  {cell:<8} x{count}")
+    if args.verify:
+        ok = result.verify()
+        print(f"verification: {'PASS' if ok else 'FAIL'}")
+        return 0 if ok else 1
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    names = args.names or circuit_names()
+    print(f"{'test case':<10} {'#I':>4} {'#O':>4} {'#h':>4} {'time/output':>12}")
+    for name in names:
+        circuit = build_circuit(name)
+        start = time.perf_counter()
+        result = differentiate_circuit(
+            circuit.name, circuit.n_inputs, circuit.output_pairs(), mode=args.mode
+        )
+        per_out = (time.perf_counter() - start) / max(1, circuit.n_outputs)
+        print(
+            f"{name:<10} {circuit.n_inputs:>4} {circuit.n_outputs:>4} "
+            f"{result.hard_outputs:>4} {per_out * 1e3:>10.2f}ms"
+        )
+    return 0
+
+
+def cmd_bench_info(args: argparse.Namespace) -> int:
+    spec = get_spec(args.name)
+    circuit = build_circuit(args.name)
+    kind = "exact" if spec.exact else "synthetic stand-in"
+    print(f"{spec.name}: {spec.n_inputs} inputs, {spec.n_outputs} outputs ({kind})")
+    for out in circuit.outputs[: args.limit]:
+        print(
+            f"  {out.name}: support={list(out.support)} "
+            f"|f|={out.table.count()}/{1 << out.table.n}"
+        )
+    if len(circuit.outputs) > args.limit:
+        print(f"  ... and {len(circuit.outputs) - args.limit} more outputs")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="grm-match",
+        description="Boolean matching with Generalized Reed-Muller forms",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("match", help="npn-match two single-output functions")
+    p.add_argument("file_a")
+    p.add_argument("file_b")
+    p.add_argument("--np-only", action="store_true", help="disallow output negation")
+    p.set_defaults(func=cmd_match)
+
+    p = sub.add_parser("verify", help="multi-output circuit correspondence")
+    p.add_argument("file_a")
+    p.add_argument("file_b")
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("classify", help="group outputs into npn classes")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_classify)
+
+    p = sub.add_parser("symmetries", help="variable symmetries per output")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_symmetries)
+
+    p = sub.add_parser("minimize", help="minimum-cube FPRM polarity per output")
+    p.add_argument("file")
+    p.add_argument("--objective", choices=("cubes", "literals"), default="cubes")
+    p.add_argument("--exact-limit", type=int, default=14)
+    p.set_defaults(func=cmd_minimize)
+
+    p = sub.add_parser("decompose", help="disjoint-support decomposition per output")
+    p.add_argument("file")
+    p.add_argument("--esop", action="store_true", help="also minimize an ESOP cover")
+    p.set_defaults(func=cmd_decompose)
+
+    p = sub.add_parser("map", help="AIG technology mapping onto the cell library")
+    p.add_argument("file")
+    p.add_argument("--cut-size", type=int, default=4)
+    p.add_argument("--verify", action="store_true")
+    p.set_defaults(func=cmd_map)
+
+    p = sub.add_parser("table1", help="run the paper's Table 1 experiment")
+    p.add_argument("names", nargs="*", metavar="NAME")
+    p.add_argument("--mode", choices=("paper", "enhanced"), default="paper")
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("bench-info", help="describe a built-in benchmark")
+    p.add_argument("name")
+    p.add_argument("--limit", type=int, default=8)
+    p.set_defaults(func=cmd_bench_info)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""The paper's core contribution: GRM-based Boolean matching."""
+
+from repro.core.canonical import canonical_form, classify, npn_class_count
+from repro.core.circuitmatch import (
+    CircuitCorrespondence,
+    match_circuits,
+    scramble_circuit,
+    verify_correspondence,
+)
+from repro.core.differentiate import (
+    CircuitDifferentiation,
+    DifferentiationReport,
+    differentiate_circuit,
+    differentiate_output,
+)
+from repro.core.matcher import (
+    MatchOptions,
+    MatchOutcome,
+    MatchStats,
+    is_np_equivalent,
+    is_npn_equivalent,
+    match,
+    match_with_stats,
+    np_match,
+)
+from repro.core.polarity import (
+    PolarityDecision,
+    canonical_grm,
+    decide_polarity,
+    decide_polarity_primary,
+    phase_candidates,
+)
+
+__all__ = [
+    "CircuitCorrespondence",
+    "CircuitDifferentiation",
+    "DifferentiationReport",
+    "MatchOptions",
+    "MatchOutcome",
+    "MatchStats",
+    "PolarityDecision",
+    "canonical_form",
+    "canonical_grm",
+    "classify",
+    "decide_polarity",
+    "decide_polarity_primary",
+    "differentiate_circuit",
+    "differentiate_output",
+    "is_np_equivalent",
+    "is_npn_equivalent",
+    "match",
+    "match_circuits",
+    "match_with_stats",
+    "np_match",
+    "npn_class_count",
+    "phase_candidates",
+    "scramble_circuit",
+    "verify_correspondence",
+]

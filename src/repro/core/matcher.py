@@ -1,0 +1,391 @@
+"""The Boolean matching procedure (Section 6 of the paper).
+
+Given two completely specified functions with equal input counts, decide
+npn-equivalence and recover a witnessing :class:`NpnTransform`:
+
+1. **Output phase** is normalized by on-set weight (complement when more
+   than half the minterms are on; neutral functions try both phases).
+2. **Input polarities** come from the M-pole folding procedure
+   (:mod:`repro.core.polarity`); persistently balanced (*hard*)
+   variables have their polarity completions enumerated on one side —
+   the paper's "additional GRMs" of Section 6.3 — reduced by
+   truth-level NE-symmetry classes so that e.g. parity needs ``n + 1``
+   completions rather than ``2**n``.
+3. **Signatures** (Section 4) gate each candidate pair of GRM forms and
+   refine the ordered variable partition.
+4. **Symmetries** (Section 5) collapse interchangeable variables so the
+   backtracking assignment only explores one representative per orbit.
+5. The **cube sets** of the two forms are matched by a partition-guided
+   backtracking search; input phases fall out of the polarity-vector
+   comparison and the recovered transform is verified on the truth
+   tables before being returned (reported matches are sound by
+   construction).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.boolfunc.transform import NpnTransform
+from repro.boolfunc.truthtable import TruthTable
+from repro.core import signatures as sigs_mod
+from repro.core import symmetry as sym_mod
+from repro.core.polarity import PolarityDecision, decide_polarity, phase_candidates
+from repro.grm.forms import Grm
+from repro.utils import bitops
+from repro.utils.partition import Partition
+
+
+class MatchBudgetExceededError(RuntimeError):
+    """Raised when hard-variable enumeration would exceed the search budget."""
+
+
+@dataclass
+class MatchOptions:
+    """Tuning knobs; defaults reproduce the paper's full procedure.
+
+    The ablation benchmark switches individual features off.
+    """
+
+    signature_families: Tuple[str, ...] = ("weights", "vic", "inc", "primes")
+    use_incidence_refinement: bool = True
+    use_symmetry_pruning: bool = True
+    use_function_signature_gate: bool = True
+    prune_every_assignment: bool = True
+    hard_enumeration_limit: int = 4096
+
+
+@dataclass
+class MatchStats:
+    """Work counters filled in by one :func:`match` call."""
+
+    phase_pairs_tried: int = 0
+    grms_built: int = 0
+    signature_rejects: int = 0
+    partition_rejects: int = 0
+    search_nodes: int = 0
+    leaf_checks: int = 0
+    hard_completions_tried: int = 0
+
+
+@dataclass
+class MatchResult:
+    """A successful match: ``g == transform.apply(f)``."""
+
+    transform: NpnTransform
+    stats: MatchStats
+
+
+DEFAULT_OPTIONS = MatchOptions()
+
+
+# ----------------------------------------------------------------------
+# Hard-variable polarity completions
+# ----------------------------------------------------------------------
+
+def _ne_classes(f: TruthTable, variables: Sequence[int]) -> List[List[int]]:
+    """Group ``variables`` into truth-level NE-symmetry classes.
+
+    NE-symmetric variables may be permuted freely without changing the
+    function, so polarity completions that differ only by permutation
+    within a class are redundant for matching.
+    """
+    variables = sorted(variables)
+    parent = {v: v for v in variables}
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    for idx, a in enumerate(variables):
+        for b in variables[idx + 1:]:
+            if find(a) != find(b) and sym_mod.has_symmetry(f, a, b, sym_mod.NE):
+                parent[find(b)] = find(a)
+    classes: Dict[int, List[int]] = {}
+    for v in variables:
+        classes.setdefault(find(v), []).append(v)
+    return [sorted(c) for c in classes.values()]
+
+
+def hard_completions(
+    f: TruthTable, decision: PolarityDecision, limit: int
+) -> List[int]:
+    """Polarity vectors completing the hard variables of ``decision``.
+
+    Within each NE class only the "first k members positive" patterns
+    are emitted.  Raises :class:`MatchBudgetExceededError` when the
+    reduced count still exceeds ``limit``.
+    """
+    if not decision.hard_mask:
+        return [decision.polarity]
+    hard_vars = bitops.bits_of(decision.hard_mask)
+    classes = _ne_classes(f, hard_vars)
+    total = 1
+    for cls in classes:
+        total *= len(cls) + 1
+        if total > limit:
+            raise MatchBudgetExceededError(
+                f"hard-variable completions ({total}+) exceed limit {limit}"
+            )
+    base = decision.polarity & ~decision.hard_mask
+    completions = [base]
+    for cls in classes:
+        expanded = []
+        for pol in completions:
+            ones = 0
+            expanded.append(pol)  # zero members positive
+            for v in cls:
+                ones |= 1 << v
+                expanded.append(pol | ones)
+        completions = expanded
+    return completions
+
+
+# ----------------------------------------------------------------------
+# The cube-set assignment search
+# ----------------------------------------------------------------------
+
+def _refined_partition(
+    f: TruthTable, grm: Grm, decision: PolarityDecision, options: MatchOptions
+) -> Partition:
+    part = Partition(f.n)
+    # Structural status first: vacuous / hard / decided are np-invariant.
+    part.refine(
+        lambda v: (
+            (decision.vacuous_mask >> v) & 1,
+            (decision.hard_mask >> v) & 1,
+        )
+    )
+    sigs_mod.refine_partition_with_grm(
+        part,
+        f,
+        grm,
+        use_incidence=options.use_incidence_refinement,
+        signature_families=options.signature_families,
+    )
+    return part
+
+
+def _search_assignment(
+    grm_f: Grm,
+    grm_g: Grm,
+    part_f: Partition,
+    part_g: Partition,
+    options: MatchOptions,
+    stats: MatchStats,
+) -> Optional[Tuple[int, ...]]:
+    """Find a variable bijection mapping ``grm_f``'s cubes onto ``grm_g``'s."""
+    n = grm_f.n
+    if part_f.block_sizes() != part_g.block_sizes():
+        stats.partition_rejects += 1
+        return None
+
+    block_of_f: Dict[int, int] = {}
+    for bi, block in enumerate(part_f.blocks):
+        for v in block:
+            block_of_f[v] = bi
+
+    if options.use_symmetry_pruning:
+        groups = sym_mod.positive_symmetric_groups([grm_g], n)
+        group_of: Dict[int, int] = {}
+        for gi, grp in enumerate(groups):
+            for v in grp:
+                group_of[v] = gi
+    else:
+        group_of = {v: v for v in range(n)}
+
+    order = [v for block in part_f.blocks for v in block]
+    sigma: Dict[int, int] = {}
+    assigned_g: set = set()
+    cubes_f = grm_f.cubes
+    cubes_g = grm_g.cubes
+
+    def partial_consistent() -> bool:
+        mask_f = 0
+        for v in sigma:
+            mask_f |= 1 << v
+        proj_f: Counter = Counter()
+        for cube in cubes_f:
+            m = cube & mask_f
+            mapped = 0
+            for i in bitops.iter_bits(m):
+                mapped |= 1 << sigma[i]
+            proj_f[mapped] += 1
+        mask_g = 0
+        for w in assigned_g:
+            mask_g |= 1 << w
+        proj_g = Counter(cube & mask_g for cube in cubes_g)
+        return proj_f == proj_g
+
+    def recurse(idx: int) -> Optional[Tuple[int, ...]]:
+        stats.search_nodes += 1
+        if idx == n:
+            stats.leaf_checks += 1
+            perm = tuple(sigma[i] for i in range(n))
+            relabeled = set()
+            for cube in cubes_f:
+                m = 0
+                for i in bitops.iter_bits(cube):
+                    m |= 1 << perm[i]
+                relabeled.add(m)
+            if relabeled == set(cubes_g):
+                return perm
+            return None
+        i = order[idx]
+        block = part_g.blocks[block_of_f[i]]
+        tried_groups = set()
+        for j in block:
+            if j in assigned_g:
+                continue
+            gid = group_of[j]
+            if gid in tried_groups:
+                continue
+            tried_groups.add(gid)
+            sigma[i] = j
+            assigned_g.add(j)
+            ok = (not options.prune_every_assignment) or partial_consistent()
+            if ok:
+                found = recurse(idx + 1)
+                if found is not None:
+                    return found
+            del sigma[i]
+            assigned_g.remove(j)
+        return None
+
+    return recurse(0)
+
+
+# ----------------------------------------------------------------------
+# np- and npn-level matching
+# ----------------------------------------------------------------------
+
+def np_match(
+    ff: TruthTable,
+    gg: TruthTable,
+    options: MatchOptions = DEFAULT_OPTIONS,
+    stats: Optional[MatchStats] = None,
+) -> Optional[NpnTransform]:
+    """Match under input permutation and negation only (no output phase).
+
+    Returns ``t`` with ``gg == t.apply(ff)`` and ``t.output_neg == False``,
+    or ``None``.
+    """
+    if stats is None:
+        stats = MatchStats()
+    n = ff.n
+    if gg.n != n or ff.count() != gg.count():
+        return None
+    if bitops.popcount(ff.support()) != bitops.popcount(gg.support()):
+        return None
+
+    for dec_f in decide_polarity(ff):
+        grm_f = Grm.from_truthtable(ff, dec_f.polarity)
+        stats.grms_built += 1
+        sig_f = sigs_mod.function_signature(ff, grm_f)
+        part_f = _refined_partition(ff, grm_f, dec_f, options)
+        for dec_g in decide_polarity(gg):
+            if dec_f.num_hard() != dec_g.num_hard():
+                continue
+            if bitops.popcount(dec_f.vacuous_mask) != bitops.popcount(dec_g.vacuous_mask):
+                continue
+            for w in hard_completions(gg, dec_g, options.hard_enumeration_limit):
+                stats.hard_completions_tried += 1
+                grm_g = Grm.from_truthtable(gg, w)
+                stats.grms_built += 1
+                if options.use_function_signature_gate:
+                    sig_g = sigs_mod.function_signature(gg, grm_g)
+                    if sig_g != sig_f:
+                        stats.signature_rejects += 1
+                        continue
+                dec_g_w = PolarityDecision(
+                    n=n,
+                    polarity=w,
+                    decided_mask=dec_g.decided_mask,
+                    hard_mask=dec_g.hard_mask,
+                    vacuous_mask=dec_g.vacuous_mask,
+                    used_linear=dec_g.used_linear,
+                    rounds=dec_g.rounds,
+                )
+                part_g = _refined_partition(gg, grm_g, dec_g_w, options)
+                perm = _search_assignment(grm_f, grm_g, part_f, part_g, options, stats)
+                if perm is None:
+                    continue
+                neg = 0
+                for i in range(n):
+                    vi = (dec_f.polarity >> i) & 1
+                    wj = (w >> perm[i]) & 1
+                    neg |= (vi ^ wj) << i
+                candidate = NpnTransform(perm, neg, False)
+                if candidate.apply(ff) == gg:
+                    return candidate
+    return None
+
+
+def match(
+    f: TruthTable,
+    g: TruthTable,
+    options: MatchOptions = DEFAULT_OPTIONS,
+    allow_output_neg: bool = True,
+) -> Optional[NpnTransform]:
+    """Full npn matching: find ``t`` with ``g == t.apply(f)``, or ``None``."""
+    return match_with_stats(f, g, options, allow_output_neg).transform_or_none()
+
+
+@dataclass
+class MatchOutcome:
+    """Transform (if any) plus the work counters of the attempt."""
+
+    transform: Optional[NpnTransform]
+    stats: MatchStats
+
+    def transform_or_none(self) -> Optional[NpnTransform]:
+        return self.transform
+
+
+def match_with_stats(
+    f: TruthTable,
+    g: TruthTable,
+    options: MatchOptions = DEFAULT_OPTIONS,
+    allow_output_neg: bool = True,
+) -> MatchOutcome:
+    """Like :func:`match` but also returns the search statistics."""
+    stats = MatchStats()
+    if f.n != g.n:
+        return MatchOutcome(None, stats)
+    n = f.n
+    if n == 0:
+        if f.bits == g.bits:
+            return MatchOutcome(NpnTransform(()), stats)
+        if allow_output_neg:
+            return MatchOutcome(NpnTransform((), 0, True), stats)
+        return MatchOutcome(None, stats)
+
+    f_phases = phase_candidates(f) if allow_output_neg else [(f, False)]
+    g_phases = phase_candidates(g) if allow_output_neg else [(g, False)]
+    for ff, fo in f_phases:
+        for gg, go in g_phases:
+            if ff.count() != gg.count():
+                continue
+            if not allow_output_neg and (fo or go):
+                continue
+            stats.phase_pairs_tried += 1
+            t0 = np_match(ff, gg, options, stats)
+            if t0 is not None:
+                result = NpnTransform(t0.perm, t0.input_neg, fo ^ go)
+                if result.apply(f) == g:
+                    return MatchOutcome(result, stats)
+    return MatchOutcome(None, stats)
+
+
+def is_npn_equivalent(f: TruthTable, g: TruthTable) -> bool:
+    """Convenience predicate for npn-equivalence."""
+    return match(f, g) is not None
+
+
+def is_np_equivalent(f: TruthTable, g: TruthTable) -> bool:
+    """Convenience predicate for np-equivalence (no output negation)."""
+    return match(f, g, allow_output_neg=False) is not None

@@ -1,0 +1,239 @@
+"""Polarity-vector selection (Sections 6.1-6.3 of the paper).
+
+The matcher needs both functions rendered in *compatible* GRM forms, so
+the polarity of every variable must be chosen from the function itself
+in an np-equivariant way.  The paper's procedure:
+
+1. Every unbalanced variable takes its **M-pole** (the polarity of the
+   heavier cofactor).  All newly decided variables are *folded* (Davio-
+   expanded) simultaneously; on the partially folded XOR-of-cubes vector
+   the literal-occurrence counts of the remaining variables can tip, so
+   the process repeats until a fixpoint.
+2. If balanced variables remain, a **linear function** over exactly the
+   balanced variables is XORed in (Section 6.2) and the counting
+   continues on the modified function; newly decided polarities carry
+   back to the original function.
+3. Variables balanced to the very end are **hard** (Section 6.3): the
+   matcher enumerates their polarity completions (the paper's
+   "additional GRMs", at most ``2n`` of which are ever needed in the
+   paper's experience because persistent balanced variables tend to be
+   symmetric).
+
+Every step is order-independent (all decisions in a round are taken from
+the same folded vector, and folds along distinct axes commute), so the
+outcome is equivariant under input permutation and negation — the
+property Theorem 1 rests on.  One subtlety the paper leaves implicit:
+negating an *odd* number of balanced inputs complements the linear-trick
+candidate ``f ⊕ L``, which by Theorem 2 swaps every M-pole for the
+m-pole.  To stay canonical the candidate is therefore phase-normalized
+exactly like a top-level function (complement it when its weight
+exceeds half), and when the candidate is *neutral* the procedure
+branches and returns a decision for each phase — which is why
+:func:`decide_polarity` yields a (small) list of candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.boolfunc.ops import linear_function
+from repro.boolfunc.truthtable import TruthTable
+from repro.grm.forms import Grm
+from repro.utils import bitops
+
+MAX_DECISIONS = 16
+"""Cap on the number of branched polarity decisions returned per function."""
+
+
+@dataclass(frozen=True)
+class PolarityDecision:
+    """Outcome of one branch of the polarity-selection procedure."""
+
+    n: int
+    polarity: int
+    """Full polarity vector; hard and vacuous variables default to 1."""
+
+    decided_mask: int
+    """Variables whose pole was fixed by the M-pole/folding procedure."""
+
+    hard_mask: int
+    """Support variables that stayed balanced through every stage."""
+
+    vacuous_mask: int
+    """Variables outside the function's true support."""
+
+    used_linear: bool
+    """Whether the Section 6.2 linear-function trick was engaged."""
+
+    rounds: int
+    """Number of count-and-fold rounds executed on this branch."""
+
+    def num_hard(self) -> int:
+        return bitops.popcount(self.hard_mask)
+
+
+def _fold_axis(t: int, n: int, i: int, pole: int) -> int:
+    """One Davio fold of the packed vector along axis ``i``.
+
+    Positive pole: ``(f0, f1) -> (f0, f0^f1)``; negative pole flips the
+    axis first so the dc part is ``f1``.  Composing these folds over all
+    axes reproduces the FPRM transform.
+    """
+    if not pole:
+        t = bitops.flip_axis(t, n, i)
+    return t ^ ((t & bitops.axis_mask(n, i)) << (1 << i))
+
+
+def _axis_counts(t: int, n: int, i: int) -> Tuple[int, int]:
+    """Occurrence counts of the ``x̄_i`` / ``x_i`` coordinates among the
+    nonzero entries of the partially folded vector (equal to the cofactor
+    weights while nothing is folded)."""
+    lo_mask = bitops.axis_mask(n, i)
+    c0 = bitops.popcount(t & lo_mask)
+    c1 = bitops.popcount((t >> (1 << i)) & lo_mask)
+    return c0, c1
+
+
+def _fold_rounds(
+    source: TruthTable, support: int, polarity: int, decided: int
+) -> Tuple[int, int, int]:
+    """Count-and-fold ``source`` to a fixpoint.
+
+    Pre-folds the already-decided variables, then repeatedly decides the
+    M-pole of every currently unbalanced undecided variable and folds.
+    Returns the updated ``(polarity, decided, rounds)``.
+    """
+    n = source.n
+    t = source.bits
+    for i in bitops.iter_bits(decided & support):
+        t = _fold_axis(t, n, i, (polarity >> i) & 1)
+    rounds = 0
+    while True:
+        rounds += 1
+        newly: List[Tuple[int, int]] = []
+        for i in bitops.iter_bits(support & ~decided):
+            c0, c1 = _axis_counts(t, n, i)
+            if c1 > c0:
+                newly.append((i, 1))
+            elif c0 > c1:
+                newly.append((i, 0))
+        if not newly:
+            return polarity, decided, rounds
+        for i, pole in newly:
+            polarity |= pole << i
+            decided |= 1 << i
+            t = _fold_axis(t, n, i, pole)
+
+
+def decide_polarity(f: TruthTable) -> List[PolarityDecision]:
+    """Run the full Section 6.1/6.2 procedure on ``f``.
+
+    Returns one decision per branch (usually exactly one; neutral
+    linear-trick candidates fork).  Matching tries every f-candidate
+    against every g-candidate.
+    """
+    n = f.n
+    full = (1 << n) - 1
+    support = f.support()
+    vacuous = full & ~support
+    half = (1 << n) // 2
+
+    polarity, decided, rounds = _fold_rounds(f, support, vacuous, vacuous)
+
+    results: List[PolarityDecision] = []
+    seen = set()
+
+    def finalize(pol: int, dec: int, rnds: int, linear: bool) -> None:
+        hard = support & ~dec
+        pol |= hard
+        key = (pol, dec)
+        if key in seen:
+            return
+        seen.add(key)
+        results.append(
+            PolarityDecision(
+                n=n,
+                polarity=pol,
+                decided_mask=dec & support,
+                hard_mask=hard,
+                vacuous_mask=vacuous,
+                used_linear=linear,
+                rounds=rnds,
+            )
+        )
+
+    def expand(pol: int, dec: int, rnds: int, linear: bool) -> None:
+        if len(results) >= MAX_DECISIONS:
+            return
+        balanced = support & ~dec
+        if not balanced:
+            finalize(pol, dec, rnds, linear)
+            return
+        candidate = f ^ linear_function(n, balanced)
+        count = candidate.count()
+        variants = []
+        if count <= half:
+            variants.append(candidate)
+        if count >= half:
+            variants.append(~candidate)
+        progressed = False
+        for variant in variants:
+            pol2, dec2, extra = _fold_rounds(variant, support, pol, dec)
+            if dec2 != dec:
+                progressed = True
+                expand(pol2, dec2, rnds + extra, True)
+        if not progressed:
+            finalize(pol, dec, rnds, linear)
+
+    expand(polarity, decided, rounds, False)
+    return results
+
+
+def decide_polarity_primary(f: TruthTable) -> PolarityDecision:
+    """The first (canonical-order) polarity decision — convenience wrapper."""
+    return decide_polarity(f)[0]
+
+
+def canonical_grm(f: TruthTable) -> Grm:
+    """The GRM of ``f`` under the primary decided polarity vector."""
+    return Grm.from_truthtable(f, decide_polarity_primary(f).polarity)
+
+
+def candidate_polarities(decision: PolarityDecision, limit: int = 4096) -> Iterator[int]:
+    """Enumerate polarity completions over the hard variables.
+
+    The decided (and vacuous) bits are kept; each subset of the hard
+    variables is flipped in turn.  ``limit`` bounds the enumeration — a
+    safety valve far above the paper's observation that at most ``2n``
+    forms are ever needed in practice.
+    """
+    hard_bits = bitops.bits_of(decision.hard_mask)
+    total = 1 << len(hard_bits)
+    if total > limit:
+        raise ValueError(
+            f"{len(hard_bits)} hard variables exceed the enumeration limit"
+        )
+    base = decision.polarity & ~decision.hard_mask
+    for choice in range(total):
+        pol = base
+        for k, bit in enumerate(hard_bits):
+            if (choice >> k) & 1:
+                pol |= 1 << bit
+        yield pol
+
+
+def phase_candidates(f: TruthTable) -> List[Tuple[TruthTable, bool]]:
+    """Output-phase normalization (Section 3.1's compatibility rules).
+
+    Returns ``[(function, output_negated)]``: functions with more than
+    half their minterms on are complemented, and neutral functions yield
+    both phases.
+    """
+    half = (1 << f.n) // 2
+    count = f.count()
+    if count < half:
+        return [(f, False)]
+    if count > half:
+        return [(~f, True)]
+    return [(f, False), (~f, True)]

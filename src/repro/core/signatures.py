@@ -1,0 +1,165 @@
+"""Signatures for Boolean matching (Section 4 of the paper).
+
+Two signature sources:
+
+* **on-set weights** (Section 4.1): the functional weight ``fw = |f|``,
+  the weight-distribution vector ``wd``, and the per-variable cofactor
+  weight pair ``(ncw, pcw)`` — np-invariant as an unordered pair
+  (Theorem 3).
+* **the GRM form** (Section 4.2): cube-length distributions (VIC, FC,
+  FVC), incidence counts (INC, FINC), and the prime-cube statistics
+  (PC, PCV, PCvic, PCinc).
+
+Function-level signatures gate whether two functions can match at all;
+variable-level signatures refine the ordered partition of variables that
+bounds the matcher's permutation search.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.boolfunc.truthtable import TruthTable
+from repro.core import primes as primes_mod
+from repro.grm.forms import Grm
+from repro.utils.partition import Partition
+
+
+@dataclass(frozen=True)
+class FunctionSignature:
+    """Permutation-invariant summary of one function under one GRM form.
+
+    Any mismatch between two functions' signatures disproves
+    np-equivalence of the underlying (phase-normalized) functions.
+    """
+
+    n: int
+    fw: int
+    wd: Tuple[Tuple[Tuple[int, int], int], ...]
+    fc: Tuple[int, ...]
+    fvc_multiset: Tuple[int, ...]
+    finc_multiset: Tuple[int, ...]
+    pc: int
+    pcv_multiset: Tuple[int, ...]
+    num_cubes: int
+
+
+@dataclass(frozen=True)
+class VariableSignatures:
+    """Per-variable signature columns for one function under one GRM form."""
+
+    weight_pairs: Tuple[Tuple[int, int], ...]
+    vic_columns: Tuple[Tuple[int, ...], ...]
+    fvc: Tuple[int, ...]
+    finc: Tuple[int, ...]
+    pcv: Tuple[int, ...]
+    pcvic_columns: Tuple[Tuple[int, ...], ...]
+
+    def key(self, v: int) -> Tuple:
+        """The refinement key of variable ``v`` (everything but INC links)."""
+        return (
+            self.weight_pairs[v],
+            self.fvc[v],
+            self.finc[v],
+            self.pcv[v],
+            self.vic_columns[v],
+            self.pcvic_columns[v],
+        )
+
+
+def weight_pair(f: TruthTable, i: int) -> Tuple[int, int]:
+    """The np-invariant cofactor weight pair, ordered ``(min, max)``.
+
+    Negating input ``i`` swaps ncw and pcw, so sorting the pair makes it
+    invariant under input phase as well as permutation.
+    """
+    ncw = f.cofactor_weight(i, 0)
+    pcw = f.cofactor_weight(i, 1)
+    return (ncw, pcw) if ncw <= pcw else (pcw, ncw)
+
+
+def function_signature(f: TruthTable, grm: Grm) -> FunctionSignature:
+    """Build the functional-level signature of ``f`` under ``grm``."""
+    pairs = [weight_pair(f, i) for i in range(f.n)]
+    wd = tuple(sorted(Counter(pairs).items()))
+    pcv = primes_mod.prime_count_vector(grm)
+    primes = grm.prime_cubes()
+    return FunctionSignature(
+        n=f.n,
+        fw=f.count(),
+        wd=wd,
+        fc=grm.cube_length_histogram(),
+        fvc_multiset=tuple(sorted(grm.variable_cube_counts())),
+        finc_multiset=tuple(sorted(grm.incidence_totals())),
+        pc=len(primes),
+        pcv_multiset=tuple(sorted(pcv)),
+        num_cubes=grm.num_cubes(),
+    )
+
+
+def variable_signatures(f: TruthTable, grm: Grm) -> VariableSignatures:
+    """Build the per-variable signature columns of ``f`` under ``grm``."""
+    n = f.n
+    vic = grm.variable_inclusion_counts()
+    pcvic = primes_mod.prime_vic(grm)
+    return VariableSignatures(
+        weight_pairs=tuple(weight_pair(f, i) for i in range(n)),
+        vic_columns=tuple(tuple(vic[k][j] for k in range(n + 1)) for j in range(n)),
+        fvc=grm.variable_cube_counts(),
+        finc=grm.incidence_totals(),
+        pcv=tuple(primes_mod.prime_count_vector(grm)),
+        pcvic_columns=tuple(tuple(pcvic[k][j] for k in range(n + 1)) for j in range(n)),
+    )
+
+
+def refine_partition_with_grm(
+    partition: Partition,
+    f: TruthTable,
+    grm: Grm,
+    use_incidence: bool = True,
+    inc_rounds: Optional[int] = None,
+    signature_families: Sequence[str] = ("weights", "vic", "inc", "primes"),
+) -> Partition:
+    """Refine a variable partition with every signature the form offers.
+
+    ``signature_families`` selects which families participate — the
+    ablation benchmark switches them off one at a time.  Incidence
+    refinement keys each variable on the multiset of its INC counts
+    toward every current block; ``inc_rounds`` bounds how often that is
+    repeated (1 = the paper's static signature comparison, ``None`` with
+    ``use_incidence`` = iterate to a Weisfeiler-Lehman-style fixpoint —
+    our enhancement).
+    """
+    sigs = variable_signatures(f, grm)
+    fams = set(signature_families)
+
+    if "weights" in fams:
+        partition.refine(lambda v: sigs.weight_pairs[v])
+    if "vic" in fams:
+        partition.refine(lambda v: (sigs.fvc[v], sigs.vic_columns[v]))
+    if "primes" in fams:
+        partition.refine(lambda v: (sigs.pcv[v], sigs.pcvic_columns[v]))
+    if "inc" in fams:
+        partition.refine(lambda v: sigs.finc[v])
+        if inc_rounds is None:
+            inc_rounds = 10**9 if use_incidence else 1
+        inc = grm.incidence_matrix()
+        for _ in range(inc_rounds):
+            blocks_snapshot = [tuple(b) for b in partition.blocks]
+
+            def inc_key(v: int) -> Tuple:
+                return tuple(
+                    tuple(sorted(inc[v][w] for w in block if w != v))
+                    for block in blocks_snapshot
+                )
+
+            if not partition.refine(inc_key):
+                break
+    return partition
+
+
+def signatures_equal_for_matching(a: FunctionSignature, b: FunctionSignature) -> bool:
+    """Functional-level gate used by the matcher before any search."""
+    return a == b

@@ -1,0 +1,5 @@
+"""Functional decision diagrams hosted in the ROBDD package."""
+
+from repro.fdd.manager import Fdd
+
+__all__ = ["Fdd"]

@@ -1,0 +1,23 @@
+"""Generalized Reed-Muller (fixed-polarity) forms and transforms."""
+
+from repro.grm.esop import EsopResult, minimize_esop
+from repro.grm.forms import Grm
+from repro.grm.minimize import (
+    MinimizationResult,
+    minimize_exact,
+    minimize_greedy,
+    polarity_profile,
+)
+from repro.grm.transform import fprm_coefficients, fprm_inverse
+
+__all__ = [
+    "EsopResult",
+    "Grm",
+    "MinimizationResult",
+    "fprm_coefficients",
+    "fprm_inverse",
+    "minimize_esop",
+    "minimize_exact",
+    "minimize_greedy",
+    "polarity_profile",
+]

@@ -1,0 +1,55 @@
+"""The fixed-polarity Reed-Muller (FPRM) transform.
+
+A *Generalized Reed-Muller form* of ``f`` under polarity vector ``V`` is
+the XOR-of-cubes expansion in which variable ``x_i`` appears only as the
+literal ``x_i`` (if ``V_i = 1``) or only as ``~x_i`` (if ``V_i = 0``).
+For a fixed ``V`` the expansion is canonical; a function has ``2**n``
+GRM forms, one per polarity vector (Section 3.1 of the paper).
+
+Representation: the coefficient vector is packed exactly like a truth
+table — bit ``c`` of the integer is the coefficient of the cube whose
+literal set is the bit mask ``c`` (bit ``i`` of ``c`` set means the
+polarity-``V_i`` literal of ``x_i`` is in the cube; ``c = 0`` is the
+constant-1 cube).
+
+Algorithm: complement the table along every negative-polarity axis (so
+the function is rewritten over the literals ``t_i``), then apply the
+GF(2) binary Moebius butterfly.  Both steps are O(n) big-integer
+operations, and both are involutions, which gives the inverse transform
+for free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.utils import bitops
+
+
+def polarity_neg_mask(n: int, polarity: int) -> int:
+    """Mask of the variables carrying *negative* polarity under ``polarity``."""
+    if not 0 <= polarity < (1 << n):
+        raise ValueError("polarity vector out of range")
+    return ~polarity & ((1 << n) - 1)
+
+
+def fprm_coefficients(bits: int, n: int, polarity: int) -> int:
+    """Packed GRM coefficient vector of the packed truth table ``bits``."""
+    flipped = bitops.negate_inputs(bits, n, polarity_neg_mask(n, polarity))
+    return bitops.mobius(flipped, n)
+
+
+def fprm_inverse(coeffs: int, n: int, polarity: int) -> int:
+    """Packed truth table of the packed GRM coefficient vector ``coeffs``."""
+    table = bitops.mobius(coeffs, n)
+    return bitops.negate_inputs(table, n, polarity_neg_mask(n, polarity))
+
+
+def iter_cubes(coeffs: int) -> Iterator[int]:
+    """Yield the cube masks with coefficient 1, in increasing mask order."""
+    return bitops.iter_bits(coeffs)
+
+
+def cube_count(coeffs: int) -> int:
+    """Number of cubes in the GRM (popcount of the coefficient vector)."""
+    return bitops.popcount(coeffs)

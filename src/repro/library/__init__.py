@@ -1,0 +1,6 @@
+"""Technology-mapping application layer: cells and npn-indexed binding."""
+
+from repro.library.cells import LibraryCell, cells_by_name, default_cells
+from repro.library.techmap import Binding, CellLibrary
+
+__all__ = ["Binding", "CellLibrary", "LibraryCell", "cells_by_name", "default_cells"]

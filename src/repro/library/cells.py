@@ -1,0 +1,76 @@
+"""A standard-cell library expressed as Boolean functions.
+
+Technology mapping is the paper's motivating application: decide whether
+a subnetwork can be implemented by a library cell, possibly with
+inverters on inputs or output — exactly npn matching.  This module
+provides a representative gate library (the usual CMOS staples plus a
+few wide/XOR cells that exercise the matcher's hard paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.boolfunc import ops
+from repro.boolfunc.truthtable import TruthTable
+
+
+@dataclass(frozen=True)
+class LibraryCell:
+    """One library cell: a named single-output function with an area cost."""
+
+    name: str
+    function: TruthTable
+    area: float
+
+    @property
+    def n_inputs(self) -> int:
+        return self.function.n
+
+
+def _var(n: int, i: int) -> TruthTable:
+    return TruthTable.var(n, i)
+
+
+def default_cells() -> List[LibraryCell]:
+    """The default cell list (functions over their own local inputs)."""
+    cells: List[LibraryCell] = []
+
+    def add(name: str, fn: TruthTable, area: float) -> None:
+        cells.append(LibraryCell(name, fn, area))
+
+    add("INV", ~_var(1, 0), 1.0)
+    add("BUF", _var(1, 0), 1.0)
+    for k in (2, 3, 4):
+        add(f"AND{k}", ops.and_all(k), 1.0 + 0.5 * k)
+        add(f"NAND{k}", ~ops.and_all(k), 0.8 + 0.5 * k)
+        add(f"OR{k}", ops.or_all(k), 1.0 + 0.5 * k)
+        add(f"NOR{k}", ~ops.or_all(k), 0.8 + 0.5 * k)
+    add("XOR2", ops.xor_all(2), 3.0)
+    add("XNOR2", ~ops.xor_all(2), 3.0)
+    add("XOR3", ops.xor_all(3), 4.5)
+    add("MUX2", ops.mux(), 3.5)
+    add("MAJ3", ops.majority(3), 4.0)
+
+    n3 = 3
+    a, b, c = (_var(n3, i) for i in range(3))
+    add("AOI21", ~((a & b) | c), 2.5)
+    add("OAI21", ~((a | b) & c), 2.5)
+
+    n4 = 4
+    w, x, y, z = (_var(n4, i) for i in range(4))
+    add("AOI22", ~((w & x) | (y & z)), 3.2)
+    add("OAI22", ~((w | x) & (y | z)), 3.2)
+    add("AO22", (w & x) | (y & z), 3.4)
+
+    # Cells whose variables stay balanced — the matcher's Section 6.3
+    # territory (parity trees, full-adder sum).
+    add("XOR4", ops.xor_all(4), 6.0)
+    add("FA_SUM", ops.xor_all(3), 4.5 + 0.1)  # distinct area, same class as XOR3
+    add("FA_CARRY", ops.majority(3), 4.1)
+    return cells
+
+
+def cells_by_name() -> Dict[str, LibraryCell]:
+    return {cell.name: cell for cell in default_cells()}

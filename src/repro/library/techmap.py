@@ -1,0 +1,79 @@
+"""Matcher-driven library binding (the technology-mapping application).
+
+A :class:`CellLibrary` precomputes, per cell, the GRM-driven canonical
+form — the paper's "for hard-to-match functions, the set of GRMs and
+their signatures are computed beforehand" — so that binding a target
+function is one canonicalization plus a hash lookup, with the full
+matcher invoked only to recover the pin assignment of the chosen cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.boolfunc.transform import NpnTransform
+from repro.boolfunc.truthtable import TruthTable
+from repro.core.canonical import canonical_form
+from repro.core.matcher import match
+from repro.library.cells import LibraryCell, default_cells
+
+
+@dataclass(frozen=True)
+class Binding:
+    """A successful bind: ``target == transform.apply(cell.function)``.
+
+    The transform tells the mapper which target net drives each cell pin
+    and where inverters are needed (input phase bits and output phase).
+    """
+
+    cell: LibraryCell
+    transform: NpnTransform
+
+    def inverter_count(self) -> int:
+        """Inverters implied by the phase assignment."""
+        return bin(self.transform.input_neg).count("1") + int(self.transform.output_neg)
+
+
+class CellLibrary:
+    """An npn-indexed cell library."""
+
+    def __init__(self, cells: Optional[Sequence[LibraryCell]] = None):
+        self.cells: List[LibraryCell] = list(cells) if cells is not None else default_cells()
+        self._index: Dict[int, Dict[int, List[LibraryCell]]] = {}
+        for cell in self.cells:
+            canon, _ = canonical_form(cell.function)
+            per_n = self._index.setdefault(cell.n_inputs, {})
+            per_n.setdefault(canon.bits, []).append(cell)
+
+    def matchable_cells(self, f: TruthTable) -> List[LibraryCell]:
+        """All cells npn-equivalent to ``f`` (canonical-form lookup)."""
+        per_n = self._index.get(f.n)
+        if not per_n:
+            return []
+        canon, _ = canonical_form(f)
+        return list(per_n.get(canon.bits, ()))
+
+    def bind(self, f: TruthTable) -> Optional[Binding]:
+        """Bind ``f`` to the cheapest matching cell and recover pins.
+
+        Cheapest = smallest cell area, then fewest implied inverters.
+        """
+        candidates = self.matchable_cells(f)
+        best: Optional[Binding] = None
+        for cell in sorted(candidates, key=lambda c: c.area):
+            transform = match(cell.function, f)
+            if transform is None:  # pragma: no cover - index guarantees a match
+                continue
+            binding = Binding(cell, transform)
+            if (
+                best is None
+                or (binding.cell.area, binding.inverter_count())
+                < (best.cell.area, best.inverter_count())
+            ):
+                best = binding
+        return best
+
+    def bind_all(self, functions: Sequence[TruthTable]) -> List[Optional[Binding]]:
+        """Bind a batch of functions (the mapping inner loop)."""
+        return [self.bind(f) for f in functions]

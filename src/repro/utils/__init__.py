@@ -1,0 +1,6 @@
+"""Shared low-level utilities (bit manipulation, partition refinement)."""
+
+from repro.utils import bitops
+from repro.utils.partition import Partition
+
+__all__ = ["bitops", "Partition"]

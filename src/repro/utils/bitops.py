@@ -1,0 +1,243 @@
+"""Bit-level primitives for packed truth tables.
+
+A completely specified Boolean function of ``n`` variables is stored as a
+single Python integer with ``2**n`` significant bits.  Bit ``m`` of the
+integer holds ``f(m)``, where bit ``i`` of the minterm index ``m`` is the
+value of variable ``x_i``.  All structural operations (cofactors, axis
+flips, variable permutation, the Reed-Muller butterfly) are then O(n)
+big-integer operations, which CPython executes in C.
+
+These helpers are deliberately free of any class wrapper so that the hot
+loops of the matcher and the benchmark harness can use them directly.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+MAX_VARS = 24
+"""Largest supported variable count for packed tables (2**24-bit integers)."""
+
+
+@lru_cache(maxsize=None)
+def table_mask(n: int) -> int:
+    """All-ones mask covering the ``2**n`` bits of an ``n``-variable table."""
+    _check_n(n)
+    return (1 << (1 << n)) - 1
+
+
+@lru_cache(maxsize=None)
+def axis_mask(n: int, i: int) -> int:
+    """Mask of minterm positions ``m`` with bit ``i`` of ``m`` equal to 0.
+
+    The complement (within :func:`table_mask`) selects positions with
+    ``x_i = 1``.
+    """
+    _check_n(n)
+    if not 0 <= i < n:
+        raise ValueError(f"variable index {i} out of range for n={n}")
+    block = (1 << (1 << i)) - 1  # 2**i ones in the x_i = 0 half-block
+    mask = block
+    width = 1 << (i + 1)  # period of the 0/1 pattern along axis i
+    total = 1 << n
+    while width < total:
+        mask |= mask << width
+        width <<= 1
+    return mask
+
+
+def _check_n(n: int) -> None:
+    if not 0 <= n <= MAX_VARS:
+        raise ValueError(f"variable count {n} outside supported range 0..{MAX_VARS}")
+
+
+def popcount(x: int) -> int:
+    """Number of set bits of a non-negative integer."""
+    return x.bit_count()
+
+
+def iter_bits(x: int) -> Iterator[int]:
+    """Yield the positions of the set bits of ``x`` in increasing order."""
+    while x:
+        low = x & -x
+        yield low.bit_length() - 1
+        x ^= low
+
+
+def bits_of(mask: int) -> List[int]:
+    """The positions of the set bits of ``mask`` as a list."""
+    return list(iter_bits(mask))
+
+
+def restrict(f: int, n: int, i: int, value: int) -> int:
+    """Cofactor of table ``f`` with ``x_i`` fixed to ``value``.
+
+    The result is returned as a full ``n``-variable table that no longer
+    depends on ``x_i`` (the selected half is replicated into both halves),
+    so it can keep participating in same-width bit algebra.
+    """
+    mask0 = axis_mask(n, i)
+    span = 1 << i
+    if value:
+        half = (f >> span) & mask0
+    else:
+        half = f & mask0
+    return half | (half << span)
+
+
+def half_weight(f: int, n: int, i: int, value: int) -> int:
+    """On-set size of the cofactor ``f`` with ``x_i = value`` (not replicated).
+
+    This counts minterms over the remaining ``n - 1`` variables, i.e. the
+    paper's positive/negative cofactor weights ``pcw`` / ``ncw``.
+    """
+    mask0 = axis_mask(n, i)
+    if value:
+        return popcount((f >> (1 << i)) & mask0)
+    return popcount(f & mask0)
+
+
+def flip_axis(f: int, n: int, i: int) -> int:
+    """Table of ``g(x) = f(x with bit i complemented)``."""
+    mask0 = axis_mask(n, i)
+    span = 1 << i
+    lo = f & mask0
+    hi = (f >> span) & mask0
+    return (lo << span) | hi
+
+
+def negate_inputs(f: int, n: int, neg_mask: int) -> int:
+    """Table of ``g(x) = f(x ^ neg_mask)`` (complement selected inputs)."""
+    for i in iter_bits(neg_mask):
+        f = flip_axis(f, n, i)
+    return f
+
+
+def swap_axes(f: int, n: int, i: int, j: int) -> int:
+    """Table of ``g(x) = f(x with bits i and j exchanged)``."""
+    if i == j:
+        return f
+    if i > j:
+        i, j = j, i
+    # Pair up minterms m (bit i = 1, bit j = 0) with m' = m - 2**i + 2**j.
+    pair_mask = ~axis_mask(n, i) & axis_mask(n, j) & table_mask(n)
+    shift = (1 << j) - (1 << i)
+    t = ((f >> shift) ^ f) & pair_mask
+    return f ^ t ^ (t << shift)
+
+
+def permute_vars(f: int, n: int, perm: Sequence[int]) -> int:
+    """Table of ``g(y) = f(y[perm[0]], y[perm[1]], ..., y[perm[n-1]])``.
+
+    ``perm`` must be a permutation of ``range(n)``; input ``i`` of ``f`` is
+    driven by variable ``perm[i]`` of the result.
+    """
+    check_permutation(perm, n)
+    # Maintain r such that the current table h satisfies
+    # h(m) = f(m with bit k read from position r[k]).  Swapping table axes
+    # a and b exchanges the roles of values a and b inside r.
+    r = list(range(n))
+    for i in range(n):
+        if r[i] == perm[i]:
+            continue
+        j = r.index(perm[i], i + 1)
+        a, b = r[i], r[j]
+        f = swap_axes(f, n, a, b)
+        for k in range(i, n):
+            if r[k] == a:
+                r[k] = b
+            elif r[k] == b:
+                r[k] = a
+    return f
+
+
+def permute_vars_reference(f: int, n: int, perm: Sequence[int]) -> int:
+    """Minterm-by-minterm reference implementation of :func:`permute_vars`.
+
+    Quadratically slower; retained for cross-checking in the test suite.
+    """
+    check_permutation(perm, n)
+    g = 0
+    for m in range(1 << n):
+        src = 0
+        for i in range(n):
+            if (m >> perm[i]) & 1:
+                src |= 1 << i
+        if (f >> src) & 1:
+            g |= 1 << m
+    return g
+
+
+def check_permutation(perm: Sequence[int], n: int) -> None:
+    """Raise ``ValueError`` unless ``perm`` is a permutation of ``range(n)``."""
+    if len(perm) != n or sorted(perm) != list(range(n)):
+        raise ValueError(f"{perm!r} is not a permutation of range({n})")
+
+
+def invert_permutation(perm: Sequence[int]) -> Tuple[int, ...]:
+    """The inverse permutation of ``perm``."""
+    inv = [0] * len(perm)
+    for i, p in enumerate(perm):
+        inv[p] = i
+    return tuple(inv)
+
+
+def compose_permutations(p: Sequence[int], q: Sequence[int]) -> Tuple[int, ...]:
+    """The permutation applying ``q`` first, then ``p``: ``(p∘q)[i] = p[q[i]]``."""
+    if len(p) != len(q):
+        raise ValueError("permutations must have equal length")
+    return tuple(p[q[i]] for i in range(len(q)))
+
+
+def mobius(f: int, n: int) -> int:
+    """Binary Moebius (zeta over GF(2)) transform of a packed table.
+
+    Maps a truth table to the coefficient vector of its positive-polarity
+    Reed-Muller expansion: bit ``c`` of the result is
+    ``XOR over all m subset-of c of f(m)``.  The transform is an involution.
+    """
+    for i in range(n):
+        f ^= (f & axis_mask(n, i)) << (1 << i)
+    return f
+
+
+def spread_table(f: int, n_from: int, n_to: int) -> int:
+    """Extend a table on ``n_from`` variables to ``n_to >= n_from`` variables.
+
+    The added (higher-indexed) variables are don't-cares: the function value
+    ignores them.
+    """
+    if n_to < n_from:
+        raise ValueError("cannot shrink a table with spread_table")
+    for i in range(n_from, n_to):
+        f |= f << (1 << i)
+    return f
+
+
+def project_table(f: int, n: int, keep: Sequence[int]) -> int:
+    """Project ``f`` onto the variables in ``keep`` (which must cover its support).
+
+    Returns a table over ``len(keep)`` variables ``y_k = x_{keep[k]}``.  Any
+    dependence of ``f`` on a variable outside ``keep`` is an error the caller
+    must avoid (checked cheaply by replication structure only in tests).
+    """
+    keep = list(keep)
+    k = len(keep)
+    g = 0
+    for m in range(1 << k):
+        src = 0
+        for pos, var in enumerate(keep):
+            if (m >> pos) & 1:
+                src |= 1 << var
+        if (f >> src) & 1:
+            g |= 1 << m
+    return g
+
+
+def weight_by_length(cubes: Iterable[int], n: int) -> List[int]:
+    """Histogram of cube sizes: entry ``k`` counts cubes with ``k`` literals."""
+    hist = [0] * (n + 1)
+    for c in cubes:
+        hist[popcount(c)] += 1
+    return hist

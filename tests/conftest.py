@@ -1,0 +1,45 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings, strategies as st
+
+from repro.boolfunc.truthtable import TruthTable
+
+settings.register_profile(
+    "repro",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG, fresh per test."""
+    return random.Random(0xC0FFEE)
+
+
+def truth_tables(min_n: int = 1, max_n: int = 6) -> st.SearchStrategy[TruthTable]:
+    """Hypothesis strategy for truth tables over small variable counts."""
+    return st.integers(min_n, max_n).flatmap(
+        lambda n: st.integers(0, (1 << (1 << n)) - 1).map(
+            lambda bits: TruthTable(n, bits)
+        )
+    )
+
+
+def tables_with_var_pair(min_n: int = 2, max_n: int = 6):
+    """Strategy yielding ``(table, i, j)`` with ``i != j``."""
+    def build(n):
+        return st.tuples(
+            st.integers(0, (1 << (1 << n)) - 1).map(lambda b: TruthTable(n, b)),
+            st.integers(0, n - 1),
+            st.integers(0, n - 1),
+        ).filter(lambda t: t[1] != t[2])
+
+    return st.integers(min_n, max_n).flatmap(build)

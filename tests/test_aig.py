@@ -1,0 +1,216 @@
+"""Tests for the AIG substrate, cut enumeration, and the mapper."""
+
+import random
+
+import pytest
+
+from repro.aig import FALSE, TRUE, Aig, AigMapper, Cut, enumerate_cuts, lit_not, lit_var
+from repro.aig.graph import lit_compl
+from repro.benchcircuits import build_circuit
+from repro.benchcircuits.netlist import Netlist
+from repro.boolfunc import ops
+from repro.boolfunc.truthtable import TruthTable
+from repro.library import CellLibrary, LibraryCell
+
+
+def _full_adder_netlist() -> Netlist:
+    nl = Netlist("fa", ["a", "b", "cin"], ["sum", "cout"])
+    nl.add("sum", "XOR", "a", "b", "cin")
+    nl.add("cout", "MAJ", "a", "b", "cin")
+    return nl
+
+
+# ----------------------------------------------------------------------
+# Graph construction
+# ----------------------------------------------------------------------
+
+def test_constant_folding_and_hashing():
+    aig = Aig(2)
+    a, b = aig.input_literal(0), aig.input_literal(1)
+    assert aig.and_(a, FALSE) == FALSE
+    assert aig.and_(a, TRUE) == a
+    assert aig.and_(a, a) == a
+    assert aig.and_(a, lit_not(a)) == FALSE
+    n1 = aig.and_(a, b)
+    n2 = aig.and_(b, a)
+    assert n1 == n2  # structural hashing after normalization
+    assert aig.num_ands() == 1
+
+
+def test_literal_helpers():
+    assert lit_var(7) == 3 and lit_compl(7)
+    assert lit_not(lit_not(6)) == 6
+
+
+def test_boolean_constructors_semantics():
+    aig = Aig(3)
+    lits = [aig.input_literal(k) for k in range(3)]
+    combos = {
+        aig.or_many(lits): ops.or_all(3),
+        aig.xor_many(lits): ops.xor_all(3),
+        aig.and_many(lits): ops.and_all(3),
+        aig.mux_(lits[2], lits[0], lits[1]): ops.mux(),
+    }
+    for literal, expected in combos.items():
+        assert aig.literal_table(literal) == expected
+
+
+def test_from_netlist_matches_netlist_semantics():
+    nl = _full_adder_netlist()
+    aig = Aig.from_netlist(nl)
+    for out_name, literal in aig.outputs:
+        tt, support = nl.output_function(out_name)
+        # support covers all 3 inputs here, in order.
+        assert aig.literal_table(literal) == tt
+
+
+def test_from_truthtable_roundtrip(rng):
+    for _ in range(10):
+        n = rng.randint(1, 6)
+        f = TruthTable.random(n, rng)
+        aig = Aig.from_truthtable(f)
+        assert aig.literal_table(aig.outputs[0][1]) == f
+
+
+def test_simulate_agrees_with_tables(rng):
+    aig = Aig.from_netlist(_full_adder_netlist())
+    name, literal = aig.outputs[0]
+    table = aig.literal_table(literal)
+    for m in range(8):
+        values = aig.simulate(m)
+        got = values[lit_var(literal)] ^ int(lit_compl(literal))
+        assert got == table.evaluate(m)
+
+
+def test_to_netlist_roundtrip():
+    aig = Aig.from_netlist(_full_adder_netlist())
+    lowered = aig.to_netlist()
+    for out_name, literal in aig.outputs:
+        tt, support = lowered.output_function(out_name)
+        # Expand to all inputs for comparison.
+        want = aig.literal_table(literal)
+        got = TruthTable.from_function(
+            3,
+            lambda a: tt.evaluate(
+                sum(a[v] << p for p, v in enumerate(support))
+            ),
+        )
+        assert got == want
+
+
+def test_node_level_and_fanin():
+    aig = Aig(2)
+    a, b = aig.input_literal(0), aig.input_literal(1)
+    n1 = aig.and_(a, b)
+    n2 = aig.and_(n1, lit_not(a))
+    levels = aig.node_level()
+    assert levels[lit_var(n1)] == 1
+    assert levels[lit_var(n2)] == 2
+    cone = aig.transitive_fanin(lit_var(n2))
+    assert {1, 2, lit_var(n1), lit_var(n2)} <= cone
+
+
+# ----------------------------------------------------------------------
+# Cuts
+# ----------------------------------------------------------------------
+
+def test_cut_enumeration_small():
+    aig = Aig(3)
+    a, b, c = (aig.input_literal(k) for k in range(3))
+    ab = aig.and_(a, b)
+    abc = aig.and_(ab, c)
+    cuts = enumerate_cuts(aig, k=2)
+    assert Cut((1, 2)) in cuts[lit_var(ab)]
+    top = cuts[lit_var(abc)]
+    assert Cut(tuple(sorted((lit_var(ab), 3)))) in top
+    assert Cut((lit_var(abc),)) in top  # trivial cut present
+    # k=2 excludes the 3-leaf cut.
+    assert all(cut.size() <= 2 for cut in top)
+    wide = enumerate_cuts(aig, k=3)
+    assert Cut((1, 2, 3)) in wide[lit_var(abc)]
+
+
+def test_cut_dominance_pruning():
+    aig = Aig(2)
+    a, b = aig.input_literal(0), aig.input_literal(1)
+    ab = aig.and_(a, b)
+    cuts = enumerate_cuts(aig, k=4)[lit_var(ab)]
+    # {1,2} dominates any superset; only it and the trivial cut remain.
+    assert sorted(c.leaves for c in cuts) == [(1, 2), (lit_var(ab),)]
+
+
+def test_cut_function_validates_coverage():
+    aig = Aig(2)
+    a, b = aig.input_literal(0), aig.input_literal(1)
+    ab = aig.and_(a, b)
+    with pytest.raises(ValueError):
+        aig.cut_function(lit_var(ab), (1,))  # input 2 not covered
+
+
+def test_enumerate_cuts_rejects_tiny_k():
+    with pytest.raises(ValueError):
+        enumerate_cuts(Aig(1), k=1)
+
+
+# ----------------------------------------------------------------------
+# Mapping
+# ----------------------------------------------------------------------
+
+def test_full_adder_maps_to_xor3_and_maj3():
+    aig = Aig.from_netlist(_full_adder_netlist())
+    result = AigMapper().map(aig)
+    assert result is not None
+    hist = result.cell_histogram()
+    assert hist.get("XOR3", 0) + hist.get("FA_SUM", 0) == 1
+    assert hist.get("MAJ3", 0) + hist.get("FA_CARRY", 0) == 1
+    assert result.verify()
+
+
+def test_random_functions_map_and_verify(rng):
+    mapper = AigMapper()
+    for _ in range(8):
+        n = rng.randint(3, 6)
+        f = TruthTable.random(n, rng)
+        aig = Aig.from_truthtable(f)
+        result = mapper.map(aig)
+        assert result is not None
+        assert result.verify()
+
+
+def test_benchmark_circuit_mapping():
+    circuit = build_circuit("con1")
+    aig = Aig.from_netlist(circuit.to_netlist())
+    result = AigMapper().map(aig)
+    assert result is not None and result.verify()
+    assert result.area > 0
+    assert result.stats.class_cache_hits > 0
+
+
+def test_mapping_with_tiny_library_fails_gracefully():
+    # A library with only an inverter cannot cover AND nodes.
+    lib = CellLibrary([LibraryCell("INV", ~TruthTable.var(1, 0), 1.0)])
+    aig = Aig(2)
+    aig.add_output("y", aig.and_(aig.input_literal(0), aig.input_literal(1)))
+    assert AigMapper(lib).map(aig) is None
+
+
+def test_mapping_covers_only_reachable_nodes():
+    aig = Aig(3)
+    a, b, c = (aig.input_literal(k) for k in range(3))
+    used = aig.and_(a, b)
+    aig.and_(b, c)  # dangling node: must not be mapped
+    aig.add_output("y", used)
+    result = AigMapper().map(aig)
+    assert result is not None
+    assert set(result.nodes) == {lit_var(used)}
+
+
+def test_constant_and_passthrough_outputs():
+    aig = Aig(2)
+    aig.add_output("zero", FALSE)
+    aig.add_output("one", TRUE)
+    aig.add_output("pass", aig.input_literal(1))
+    aig.add_output("inv", lit_not(aig.input_literal(0)))
+    result = AigMapper().map(aig)
+    assert result is not None
+    assert result.verify()

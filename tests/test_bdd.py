@@ -1,0 +1,111 @@
+"""Unit and property tests for the ROBDD package."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bdd.manager import ONE, ZERO, BddManager
+from repro.boolfunc.truthtable import TruthTable
+from tests.conftest import truth_tables
+
+
+def test_terminals_and_mk_reduction():
+    mgr = BddManager(2)
+    assert mgr.is_terminal(ZERO) and mgr.is_terminal(ONE)
+    assert mgr.mk(0, ONE, ONE) == ONE  # equal children collapse
+    node = mgr.mk(0, ZERO, ONE)
+    assert mgr.mk(0, ZERO, ONE) == node  # hash-consed
+
+
+def test_mk_rejects_bad_variable():
+    mgr = BddManager(2)
+    with pytest.raises(ValueError):
+        mgr.mk(2, ZERO, ONE)
+
+
+def test_variable_and_literal():
+    mgr = BddManager(3)
+    x1 = mgr.variable(1)
+    assert mgr.to_truthtable(x1) == TruthTable.var(3, 1)
+    nx1 = mgr.literal(1, positive=False)
+    assert mgr.to_truthtable(nx1) == ~TruthTable.var(3, 1)
+
+
+@given(truth_tables(1, 6))
+def test_truthtable_roundtrip(f):
+    mgr = BddManager(f.n)
+    assert mgr.to_truthtable(mgr.from_truthtable(f)) == f
+
+
+@given(truth_tables(1, 6))
+def test_satcount_matches_popcount(f):
+    mgr = BddManager(f.n)
+    assert mgr.satcount(mgr.from_truthtable(f)) == f.count()
+
+
+@given(truth_tables(1, 5), st.data())
+def test_boolean_operators(f, data):
+    g = TruthTable(f.n, data.draw(st.integers(0, (1 << (1 << f.n)) - 1)))
+    mgr = BddManager(f.n)
+    nf, ng = mgr.from_truthtable(f), mgr.from_truthtable(g)
+    assert mgr.to_truthtable(mgr.apply_and(nf, ng)) == (f & g)
+    assert mgr.to_truthtable(mgr.apply_or(nf, ng)) == (f | g)
+    assert mgr.to_truthtable(mgr.apply_xor(nf, ng)) == (f ^ g)
+    assert mgr.to_truthtable(mgr.apply_not(nf)) == ~f
+
+
+def test_canonicity_pointer_equality():
+    mgr = BddManager(3)
+    a = mgr.apply_xor(mgr.variable(0), mgr.variable(1))
+    b = mgr.apply_xor(mgr.variable(1), mgr.variable(0))
+    assert a == b  # same node id
+
+
+@given(truth_tables(2, 5), st.data())
+def test_cofactor_and_difference(f, data):
+    i = data.draw(st.integers(0, f.n - 1))
+    mgr = BddManager(f.n)
+    node = mgr.from_truthtable(f)
+    assert mgr.to_truthtable(mgr.cofactor(node, i, 0)) == f.cofactor(i, 0)
+    assert mgr.to_truthtable(mgr.cofactor(node, i, 1)) == f.cofactor(i, 1)
+    assert mgr.to_truthtable(mgr.boolean_difference(node, i)) == f.boolean_difference(i)
+    assert mgr.cofactor_weight(node, i, 1) == f.cofactor_weight(i, 1)
+
+
+@given(truth_tables(1, 5))
+def test_support(f):
+    mgr = BddManager(f.n)
+    assert mgr.support(mgr.from_truthtable(f)) == f.support()
+
+
+@given(truth_tables(2, 5), st.data())
+def test_permute_and_negate(f, data):
+    perm = tuple(data.draw(st.permutations(range(f.n))))
+    neg = data.draw(st.integers(0, (1 << f.n) - 1))
+    mgr = BddManager(f.n)
+    node = mgr.from_truthtable(f)
+    assert mgr.to_truthtable(mgr.permute_vars(node, perm)) == f.permute_vars(perm)
+    assert mgr.to_truthtable(mgr.negate_inputs(node, neg)) == f.negate_inputs(neg)
+
+
+def test_node_count_and_size():
+    mgr = BddManager(3)
+    node = mgr.from_truthtable(TruthTable.parity(3))
+    # Parity has one node per variable level times two paths + terminals.
+    assert mgr.node_count(node) == 3 * 2 + 2 - 1  # shared structure: 7 nodes
+    assert mgr.size() >= mgr.node_count(node)
+
+
+def test_apply_many():
+    mgr = BddManager(4)
+    nodes = [mgr.variable(i) for i in range(4)]
+    conj = mgr.apply_many(mgr.apply_and, nodes, ONE)
+    assert mgr.satcount(conj) == 1
+
+
+def test_ite_shortcuts():
+    mgr = BddManager(2)
+    x = mgr.variable(0)
+    assert mgr.ite(ONE, x, ZERO) == x
+    assert mgr.ite(ZERO, x, ONE) == ONE
+    assert mgr.ite(x, ONE, ZERO) == x
+    assert mgr.ite(x, x, x) == x

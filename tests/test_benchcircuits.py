@@ -1,0 +1,143 @@
+"""Tests for the benchmark generators and the Table-1 suite registry."""
+
+import pytest
+
+from repro.benchcircuits import build_circuit, circuit_names, get_spec
+from repro.benchcircuits.generators import (
+    BenchmarkCircuit,
+    OutputFunction,
+    cm138a,
+    cm150a,
+    cm151a,
+    nine_sym,
+    rd_counter,
+    synthetic_circuit,
+    t481,
+    z4ml,
+)
+from repro.benchcircuits.suite import TABLE1_CIRCUITS
+from repro.boolfunc.truthtable import TruthTable
+from repro.utils import bitops
+
+
+def test_output_function_width_checked():
+    with pytest.raises(ValueError):
+        OutputFunction("f", TruthTable.parity(3), (0, 1))
+
+
+def test_nine_sym_semantics():
+    c = nine_sym()
+    tt = c.outputs[0].table
+    for m in (0b000000111, 0b111111000, 0b000001111):
+        assert tt.evaluate(m) == 1
+    assert tt.evaluate(0b000000011) == 0
+    assert tt.evaluate(0b111111100) == 0
+
+
+def test_rd_counter_outputs_encode_weight():
+    c = rd_counter("rd53", 5, 3)
+    for m in range(32):
+        weight = bitops.popcount(m)
+        got = 0
+        for k, out in enumerate(c.outputs):
+            # Outputs were support-reduced; re-expand via support mapping.
+            local = 0
+            for pos, var in enumerate(out.support):
+                if (m >> var) & 1:
+                    local |= 1 << pos
+            got |= out.table.evaluate(local) << k
+        assert got == weight
+
+
+def test_z4ml_is_an_adder():
+    c = z4ml()
+    out_tables = [(o.table, o.support) for o in c.outputs]
+    for m in range(128):
+        a = m & 7
+        b = (m >> 3) & 7
+        cin = (m >> 6) & 1
+        total = a + b + cin
+        for k, (tt, support) in enumerate(out_tables):
+            local = 0
+            for pos, var in enumerate(support):
+                if (m >> var) & 1:
+                    local |= 1 << pos
+            assert tt.evaluate(local) == ((total >> k) & 1)
+
+
+def test_cm138a_decoder():
+    c = cm138a()
+    assert c.n_outputs == 8
+    # With all enables low, output k is low exactly when select == k.
+    for k, out in enumerate(c.outputs):
+        local_all = {var: pos for pos, var in enumerate(out.support)}
+        m = 0
+        for b in range(3):
+            if (k >> b) & 1 and b in local_all:
+                m |= 1 << local_all[b]
+        assert out.table.evaluate(m) == 0
+
+
+def test_cm150a_selects_data():
+    c = cm150a()
+    tt = c.outputs[0].table
+    # enable low (bit 20 = 0), select k, data bit k high -> 1.
+    for k in (0, 5, 15):
+        m = (1 << k) | (k << 16)
+        assert tt.evaluate(m) == 1
+        assert tt.evaluate(m | (1 << 20)) == 0  # disabled
+    # selected data low -> 0 even with other data high.
+    m = ((0xFFFF ^ (1 << 3)) | (3 << 16))
+    assert tt.evaluate(m) == 0
+
+
+def test_cm151a_outputs_complementary():
+    c = cm151a()
+    y, yn = c.outputs
+    assert y.support == yn.support
+    assert y.table == ~yn.table
+
+
+def test_t481_structure():
+    c = t481()
+    tt = c.outputs[0].table
+    m = 0b01  # first pair differs, all other pairs equal
+    assert tt.evaluate(m) == 0  # single product can't fire alone
+    # pairs (0,1) and (2,3) both differ -> first product fires.
+    assert tt.evaluate(0b0110) == 1
+
+
+def test_synthetic_determinism_and_shape():
+    a = synthetic_circuit("demo", 30, 6)
+    b = synthetic_circuit("demo", 30, 6)
+    assert [o.table for o in a.outputs] == [o.table for o in b.outputs]
+    assert all(len(o.support) <= 11 for o in a.outputs)
+    assert all(o.table.support() == (1 << o.table.n) - 1 for o in a.outputs)
+    c = synthetic_circuit("demo2", 30, 6)
+    assert [o.table for o in c.outputs] != [o.table for o in a.outputs]
+
+
+def test_registry_is_consistent():
+    assert len(TABLE1_CIRCUITS) == 53
+    names = circuit_names()
+    assert len(set(names)) == len(names)
+    for spec in TABLE1_CIRCUITS[:10]:
+        circuit = spec.builder()
+        assert circuit.n_inputs == spec.n_inputs
+        assert circuit.n_outputs == spec.n_outputs
+        for out in circuit.outputs:
+            assert all(0 <= v < spec.n_inputs for v in out.support)
+
+
+def test_exact_specs_marked():
+    assert get_spec("9sym").exact
+    assert not get_spec("duke2").exact
+    with pytest.raises(KeyError):
+        get_spec("nonesuch")
+
+
+def test_build_circuit_by_name():
+    c = build_circuit("rd53")
+    assert isinstance(c, BenchmarkCircuit)
+    assert c.n_inputs == 5
+    assert len(c.output_pairs()) == 3

@@ -1,0 +1,146 @@
+"""Unit tests for the packed-table bit primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import bitops
+
+
+def test_table_mask_widths():
+    assert bitops.table_mask(0) == 1
+    assert bitops.table_mask(1) == 0b11
+    assert bitops.table_mask(3) == (1 << 8) - 1
+
+
+def test_table_mask_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        bitops.table_mask(-1)
+    with pytest.raises(ValueError):
+        bitops.table_mask(bitops.MAX_VARS + 1)
+
+
+def test_axis_mask_small_cases():
+    # n=2: minterms 0..3, bit0 of index = x0.
+    assert bitops.axis_mask(2, 0) == 0b0101
+    assert bitops.axis_mask(2, 1) == 0b0011
+    assert bitops.axis_mask(3, 2) == 0x0F
+
+
+def test_axis_mask_bad_variable():
+    with pytest.raises(ValueError):
+        bitops.axis_mask(3, 3)
+    with pytest.raises(ValueError):
+        bitops.axis_mask(3, -1)
+
+
+def test_iter_bits_and_bits_of():
+    assert list(bitops.iter_bits(0b101001)) == [0, 3, 5]
+    assert bitops.bits_of(0) == []
+
+
+def test_restrict_replicates_selected_half():
+    # f(x0,x1) = x0: table 0b1010.
+    f = 0b1010
+    assert bitops.restrict(f, 2, 0, 1) == 0b1111
+    assert bitops.restrict(f, 2, 0, 0) == 0b0000
+    assert bitops.restrict(f, 2, 1, 0) == f  # independent of x1
+
+
+def test_half_weight_counts_cofactor_minterms():
+    f = 0b1110  # on-set {1,2,3}
+    assert bitops.half_weight(f, 2, 0, 1) == 2  # minterms 1,3
+    assert bitops.half_weight(f, 2, 0, 0) == 1  # minterm 2
+    assert bitops.half_weight(f, 2, 1, 1) == 2
+
+
+def test_flip_axis_involution_and_semantics():
+    f = 0b0110_1001
+    g = bitops.flip_axis(f, 3, 1)
+    for m in range(8):
+        assert (g >> m) & 1 == (f >> (m ^ 0b010)) & 1
+    assert bitops.flip_axis(g, 3, 1) == f
+
+
+def test_negate_inputs_matches_index_xor():
+    f = 0xB5
+    g = bitops.negate_inputs(f, 3, 0b101)
+    for m in range(8):
+        assert (g >> m) & 1 == (f >> (m ^ 0b101)) & 1
+
+
+def test_swap_axes_exchanges_index_bits():
+    f = 0x3C5A
+    g = bitops.swap_axes(f, 4, 0, 2)
+    for m in range(16):
+        swapped = (m & ~0b101) | ((m & 1) << 2) | ((m >> 2) & 1)
+        assert (g >> m) & 1 == (f >> swapped) & 1
+    assert bitops.swap_axes(f, 4, 1, 1) == f
+
+
+@given(st.integers(1, 6), st.data())
+def test_permute_vars_agrees_with_reference(n, data):
+    bits = data.draw(st.integers(0, (1 << (1 << n)) - 1))
+    perm = data.draw(st.permutations(range(n)))
+    fast = bitops.permute_vars(bits, n, perm)
+    slow = bitops.permute_vars_reference(bits, n, perm)
+    assert fast == slow
+
+
+@given(st.integers(1, 6), st.data())
+def test_permute_vars_composes(n, data):
+    bits = data.draw(st.integers(0, (1 << (1 << n)) - 1))
+    p = data.draw(st.permutations(range(n)))
+    q = data.draw(st.permutations(range(n)))
+    once = bitops.permute_vars(bitops.permute_vars(bits, n, p), n, q)
+    # permute_vars(·, p) reads bit p[i] into bit i, so applying p then q
+    # reads bit q[p[i]] into bit i: the composite array is q∘p.
+    composed = bitops.compose_permutations(q, p)
+    assert once == bitops.permute_vars(bits, n, composed)
+
+
+def test_check_permutation_rejects_bad_input():
+    with pytest.raises(ValueError):
+        bitops.check_permutation([0, 0, 1], 3)
+    with pytest.raises(ValueError):
+        bitops.check_permutation([0, 1], 3)
+
+
+def test_invert_permutation_roundtrip():
+    perm = (2, 0, 3, 1)
+    inv = bitops.invert_permutation(perm)
+    assert bitops.compose_permutations(perm, inv) == (0, 1, 2, 3)
+    assert bitops.compose_permutations(inv, perm) == (0, 1, 2, 3)
+
+
+@given(st.integers(0, 6), st.data())
+def test_mobius_is_involution(n, data):
+    bits = data.draw(st.integers(0, (1 << (1 << n)) - 1))
+    assert bitops.mobius(bitops.mobius(bits, n), n) == bits
+
+
+def test_mobius_matches_subset_xor_definition():
+    n = 3
+    bits = 0b1011_0010
+    coeffs = bitops.mobius(bits, n)
+    for c in range(8):
+        expected = 0
+        m = c
+        while True:
+            expected ^= (bits >> m) & 1
+            if m == 0:
+                break
+            m = (m - 1) & c
+        assert (coeffs >> c) & 1 == expected
+
+
+def test_spread_and_project_roundtrip():
+    f = 0b0110  # 2-var XOR
+    wide = bitops.spread_table(f, 2, 4)
+    assert bitops.project_table(wide, 4, [0, 1]) == f
+    # Projection onto a reordered support renames variables.
+    assert bitops.project_table(wide, 4, [1, 0]) == 0b0110
+
+
+def test_weight_by_length():
+    hist = bitops.weight_by_length([0b0, 0b1, 0b11, 0b101, 0b111], 3)
+    assert hist == [1, 1, 2, 1]

@@ -1,0 +1,139 @@
+"""Tests for the BLIF and PLA readers/writers."""
+
+import pytest
+
+from repro.benchcircuits.blif import parse_blif, write_blif
+from repro.benchcircuits.netlist import Netlist
+from repro.benchcircuits.pla import Pla, functions_to_pla, parse_pla, write_pla
+from repro.boolfunc.truthtable import TruthTable
+
+FA_BLIF = """
+# a full adder
+.model fa
+.inputs a b cin
+.outputs sum cout
+.names a b cin sum
+100 1
+010 1
+001 1
+111 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+"""
+
+
+def test_parse_blif_full_adder():
+    nl = parse_blif(FA_BLIF)
+    assert nl.name == "fa"
+    assert nl.inputs == ["a", "b", "cin"]
+    tt, support = nl.output_function("sum")
+    assert tt == TruthTable.parity(3)
+    carry, _ = nl.output_function("cout")
+    assert carry.count() == 4
+
+
+def test_parse_blif_constants_and_continuation():
+    text = """.model k
+.inputs a
+.outputs one zero buf
+.names one
+1
+.names zero
+.names a \\
+buf
+1 1
+.end
+"""
+    nl = parse_blif(text)
+    one, _ = nl.output_function("one")
+    zero, _ = nl.output_function("zero")
+    buf, _ = nl.output_function("buf")
+    assert one.bits == 1 and one.n == 0
+    assert zero.bits == 0
+    assert buf == TruthTable.var(1, 0)
+
+
+def test_parse_blif_rejects_latches():
+    with pytest.raises(ValueError):
+        parse_blif(".model x\n.inputs a\n.outputs q\n.latch a q 0\n.end\n")
+
+
+def test_parse_blif_rejects_stray_rows():
+    with pytest.raises(ValueError):
+        parse_blif(".model x\n.inputs a\n.outputs y\n1 1\n.end\n")
+
+
+def test_blif_roundtrip():
+    nl = parse_blif(FA_BLIF)
+    text = write_blif(nl)
+    again = parse_blif(text)
+    for out in nl.outputs:
+        a, sa = nl.output_function(out)
+        b, sb = again.output_function(out)
+        assert a == b and sa == sb
+
+
+def test_blif_writer_flattens_simple_gates():
+    nl = Netlist("g", ["a", "b"], ["y"])
+    nl.add("y", "XOR", "a", "b")
+    again = parse_blif(write_blif(nl))
+    tt, _ = again.output_function("y")
+    assert tt == TruthTable.parity(2)
+
+
+PLA_TEXT = """
+.i 3
+.o 2
+.ilb a b c
+.ob x y
+.p 3
+1-0 10
+-11 11
+000 01
+.e
+"""
+
+
+def test_parse_pla():
+    pla = parse_pla(PLA_TEXT)
+    assert pla.n_inputs == 3 and pla.n_outputs == 2
+    assert pla.input_labels == ("a", "b", "c")
+    x = pla.output_function(0)
+    y = pla.output_function(1)
+    assert sorted(x.minterms()) == [1, 3, 6, 7]
+    assert sorted(y.minterms()) == [0, 6, 7]
+
+
+def test_parse_pla_requires_declarations():
+    with pytest.raises(ValueError):
+        parse_pla("1-0 10\n")
+    with pytest.raises(ValueError):
+        parse_pla(".i 3\n.o 1\n1- 1\n")
+
+
+def test_pla_roundtrip():
+    pla = parse_pla(PLA_TEXT)
+    again = parse_pla(write_pla(pla))
+    assert again == pla
+
+
+def test_pla_to_netlist():
+    nl = parse_pla(PLA_TEXT).to_netlist("two")
+    tt, support = nl.output_function("x")
+    assert sorted(tt.minterms()) != []
+    assert nl.outputs == ["x", "y"]
+
+
+def test_functions_to_pla_roundtrip():
+    f = TruthTable.parity(3)
+    g = TruthTable.from_minterms(3, [0, 7])
+    pla = functions_to_pla([f, g])
+    assert pla.output_function(0) == f
+    assert pla.output_function(1) == g
+    with pytest.raises(ValueError):
+        functions_to_pla([])
+    with pytest.raises(ValueError):
+        functions_to_pla([f, TruthTable.parity(2)])

@@ -1,0 +1,69 @@
+"""Tests for GRM-driven npn canonicalization."""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.baselines import exhaustive
+from repro.boolfunc.transform import NpnTransform
+from repro.boolfunc.truthtable import TruthTable
+from repro.core.canonical import canonical_form, classify, npn_class_count
+from tests.conftest import truth_tables
+
+
+@given(truth_tables(1, 5))
+def test_canonical_form_is_reachable(f):
+    canon, t = canonical_form(f)
+    assert t.apply(f) == canon
+
+
+@given(truth_tables(1, 5), st.data())
+def test_canonical_form_is_invariant(f, data):
+    n = f.n
+    perm = tuple(data.draw(st.permutations(range(n))))
+    neg = data.draw(st.integers(0, (1 << n) - 1))
+    out = data.draw(st.booleans())
+    g = NpnTransform(perm, neg, out).apply(f)
+    assert canonical_form(f)[0] == canonical_form(g)[0]
+
+
+@given(truth_tables(1, 4), truth_tables(1, 4))
+def test_canonical_equality_iff_equivalent(f, g):
+    if f.n != g.n:
+        return
+    same_class = exhaustive.is_npn_equivalent(f, g)
+    assert (canonical_form(f)[0] == canonical_form(g)[0]) == same_class
+
+
+def test_class_counts_small_n():
+    assert npn_class_count(1) == 2
+    assert npn_class_count(2) == 4
+    assert npn_class_count(3) == 14
+
+
+def test_n4_classes_sampled_against_exhaustive(rng):
+    """Spot-check n=4 (full 222-class run lives in the benchmark)."""
+    sample = [TruthTable(4, rng.getrandbits(16)) for _ in range(120)]
+    ours = classify(sample)
+    theirs = {}
+    for f in sample:
+        canon, _ = exhaustive.canonicalize(f)
+        theirs.setdefault(canon.bits, []).append(f)
+    assert len(ours) == len(theirs)
+    # The groupings themselves must agree, not just the counts.
+    ours_sets = {frozenset(x.bits for x in grp) for grp in ours.values()}
+    theirs_sets = {frozenset(x.bits for x in grp) for grp in theirs.values()}
+    assert ours_sets == theirs_sets
+
+
+def test_zero_variable_canonicalization():
+    canon, t = canonical_form(TruthTable.one(0))
+    assert canon == TruthTable.zero(0)
+    assert t.output_neg
+
+
+def test_classify_groups_equivalents(rng):
+    f = TruthTable.random(4, rng)
+    variants = [NpnTransform.random(4, rng).apply(f) for _ in range(5)]
+    classes = classify([f] + variants)
+    assert len(classes) == 1

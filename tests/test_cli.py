@@ -1,0 +1,112 @@
+"""Tests for the grm-match command-line interface."""
+
+import pytest
+
+from repro.cli import load_circuit, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_match_equivalent(capsys):
+    code, out = run_cli(capsys, "match", "bench:9sym", "bench:9sym")
+    assert code == 0
+    assert "npn-equivalent" in out
+
+
+def test_match_inequivalent(capsys):
+    code, out = run_cli(capsys, "match", "bench:cm150a", "bench:parity")
+    assert code == 1
+    assert "NOT" in out or "not matchable" in out
+
+
+def test_match_requires_single_output():
+    with pytest.raises(SystemExit):
+        main(["match", "bench:rd73", "bench:rd73"])
+
+
+def test_match_named_output(capsys):
+    code, out = run_cli(capsys, "match", "bench:rd73:s0", "bench:rd73:s0")
+    assert code == 0 and "npn-equivalent" in out
+
+
+def test_verify_self(capsys):
+    code, out = run_cli(capsys, "verify", "bench:con1", "bench:con1")
+    assert code == 0
+    assert "equivalent" in out
+
+
+def test_verify_rejects(capsys):
+    code, out = run_cli(capsys, "verify", "bench:con1", "bench:z4ml")
+    assert code == 1
+
+
+def test_classify(capsys):
+    code, out = run_cli(capsys, "classify", "bench:cm138a")
+    assert code == 0
+    assert "1 npn classes" in out
+
+
+def test_symmetries(capsys):
+    code, out = run_cli(capsys, "symmetries", "bench:9sym")
+    assert code == 0
+    assert "NE" in out
+
+
+def test_minimize(capsys):
+    code, out = run_cli(capsys, "minimize", "bench:rd53")
+    assert code == 0
+    assert "minimum=" in out
+
+
+def test_decompose_subcommand(capsys):
+    code, out = run_cli(capsys, "decompose", "bench:z4ml", "--esop")
+    assert code == 0
+    assert "XOR" in out and "ESOP" in out
+
+
+def test_map_subcommand(capsys):
+    code, out = run_cli(capsys, "map", "bench:con1", "--verify")
+    assert code == 0
+    assert "PASS" in out and "area" in out
+
+
+def test_table1_subset(capsys):
+    code, out = run_cli(capsys, "table1", "con1", "z4ml")
+    assert code == 0
+    assert "con1" in out and "z4ml" in out
+
+
+def test_bench_info(capsys):
+    code, out = run_cli(capsys, "bench-info", "cm151a")
+    assert code == 0
+    assert "12 inputs" in out
+
+
+def test_load_pla_and_blif(tmp_path, capsys):
+    pla = tmp_path / "half.pla"
+    pla.write_text(".i 2\n.o 2\n.p 3\n10 10\n01 10\n11 01\n.e\n")
+    blif = tmp_path / "half.blif"
+    blif.write_text(
+        ".model half\n.inputs a b\n.outputs s c\n"
+        ".names a b s\n10 1\n01 1\n.names a b c\n11 1\n.end\n"
+    )
+    code, out = run_cli(capsys, "verify", str(pla), str(blif))
+    assert code == 0
+    circuit = load_circuit(str(pla))
+    assert circuit.n_inputs == 2 and len(circuit.outputs) == 2
+
+
+def test_unknown_file_type(tmp_path):
+    bad = tmp_path / "x.v"
+    bad.write_text("module x; endmodule")
+    with pytest.raises(SystemExit):
+        load_circuit(str(bad))
+
+
+def test_unknown_bench_output():
+    with pytest.raises(SystemExit):
+        load_circuit("bench:rd73:nope")

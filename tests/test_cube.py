@@ -1,0 +1,58 @@
+"""Unit tests for SOP cubes."""
+
+import pytest
+
+from repro.boolfunc.cube import Cube, esop_to_truthtable, sop_to_truthtable
+from repro.boolfunc.truthtable import TruthTable
+
+
+def test_parse_and_render():
+    c = Cube.from_string("1-0")
+    assert c.pos == 0b001 and c.neg == 0b100
+    assert c.to_string(3) == "1-0"
+    assert str(c) == "x0*~x2"
+    assert str(Cube.tautology()) == "1"
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        Cube.from_string("1x0")
+
+
+def test_conflicting_literals_rejected():
+    with pytest.raises(ValueError):
+        Cube(pos=0b1, neg=0b1)
+
+
+def test_size_and_support():
+    c = Cube(pos=0b101, neg=0b010)
+    assert c.size() == 3
+    assert c.support == 0b111
+
+
+def test_contains_minterm():
+    c = Cube.from_string("1-0")
+    assert c.contains_minterm(0b001)
+    assert c.contains_minterm(0b011)
+    assert not c.contains_minterm(0b101)
+    assert not c.contains_minterm(0b000)
+
+
+def test_to_truthtable():
+    c = Cube.from_string("01")
+    tt = c.to_truthtable(2)
+    assert sorted(tt.minterms()) == [0b10]
+    with pytest.raises(ValueError):
+        Cube.from_string("111").to_truthtable(2)
+
+
+def test_sop_and_esop_evaluation():
+    cubes = [Cube.from_string("1-"), Cube.from_string("-1")]
+    assert sop_to_truthtable(2, cubes) == TruthTable.from_minterms(2, [1, 2, 3])
+    # XOR of the same cubes: x0 ^ x1 with overlap cancelling.
+    assert esop_to_truthtable(2, cubes) == TruthTable.parity(2)
+
+
+def test_literals_enumeration():
+    c = Cube.from_string("0-1")
+    assert list(c.literals()) == [(0, False), (2, True)]

@@ -1,0 +1,110 @@
+"""Tests for disjoint-support decomposition."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.boolfunc import ops
+from repro.boolfunc.dsd import Dsd, decompose, shape_signature
+from repro.boolfunc.transform import NpnTransform
+from repro.boolfunc.truthtable import TruthTable
+from tests.conftest import truth_tables
+
+
+@given(truth_tables(1, 7))
+def test_recomposition_identity(f):
+    assert decompose(f).to_truthtable() == f
+
+
+def test_constants():
+    one = decompose(TruthTable.one(3))
+    zero = decompose(TruthTable.zero(3))
+    assert one.constant == 1 and zero.constant == 0
+    assert one.to_truthtable() == TruthTable.one(3)
+    assert one.describe() == "1"
+
+
+def test_single_variable_and_complement():
+    d = decompose(TruthTable.var(3, 1))
+    assert d.root is not None and d.root.is_leaf() and d.root.var == 1
+    dn = decompose(~TruthTable.var(3, 1))
+    assert dn.to_truthtable() == ~TruthTable.var(3, 1)
+    assert dn.describe() == "NOT(x1)"
+
+
+def test_known_tree_structures():
+    x = lambda i: TruthTable.var(5, i)
+    f = (x(0) ^ x(1)) & x(2) & (x(3) | x(4))
+    d = decompose(f)
+    text = d.describe()
+    assert text.startswith("AND3(")
+    assert "XOR2(x0, x1)" in text
+    # OR over two variables shows up as an AND-class (De Morgan) or
+    # PRIME2 block depending on phase normalization; recomposition is
+    # what matters.
+    assert d.to_truthtable() == f
+
+
+def test_prime_functions_stay_prime():
+    for f in (ops.majority(3), ops.mux(), ops.majority(5)):
+        d = decompose(f)
+        assert d.is_prime_function(), d.describe()
+
+
+def test_decomposable_functions_are_not_prime():
+    assert not decompose(ops.and_all(4)).is_prime_function()
+    assert not decompose(ops.xor_all(4)).is_prime_function()
+
+
+def test_support_and_labels():
+    f = (TruthTable.var(4, 0) & TruthTable.var(4, 2)) ^ TruthTable.var(4, 3)
+    d = decompose(f)
+    assert d.root is not None
+    assert d.root.support() == (0, 2, 3)
+    assert d.root.gate_label() in ("XOR2", "PRIME2")
+
+
+@given(truth_tables(1, 6), st.data())
+def test_shape_signature_is_npn_invariant(f, data):
+    n = f.n
+    perm = tuple(data.draw(st.permutations(range(n))))
+    neg = data.draw(st.integers(0, (1 << n) - 1))
+    out = data.draw(st.booleans())
+    g = NpnTransform(perm, neg, out).apply(f)
+    assert shape_signature(decompose(f)) == shape_signature(decompose(g))
+
+
+def test_shape_signature_discriminates_classes():
+    shapes = {
+        shape_signature(decompose(f))
+        for f in (
+            ops.majority(3),
+            ops.and_all(3),
+            ops.xor_all(3),
+            ops.mux(),
+            ops.and_all(2).extend(3),
+        )
+    }
+    assert len(shapes) >= 4  # mux and maj3 may or may not collide
+
+
+def test_shape_signature_never_false_negative(rng):
+    """Equal shapes are necessary for npn equivalence (the signature
+    property): random equivalent pairs always share a shape."""
+    for _ in range(20):
+        n = rng.randint(2, 6)
+        f = TruthTable.random(n, rng)
+        g = NpnTransform.random(n, rng).apply(f)
+        assert shape_signature(decompose(f)) == shape_signature(decompose(g))
+
+
+def test_deep_chain_flattening():
+    n = 8
+    f = TruthTable.one(n)
+    for i in range(n):
+        f = f & TruthTable.var(n, i)
+    d = decompose(f)
+    sig = shape_signature(d)
+    assert sig[0] == "and"
+    assert len(sig[1]) == n  # one flat chain with n leaves

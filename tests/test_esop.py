@@ -1,0 +1,93 @@
+"""Tests for the exorcism-style ESOP minimizer."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.boolfunc import ops
+from repro.boolfunc.cube import Cube, esop_to_truthtable
+from repro.boolfunc.truthtable import TruthTable
+from repro.grm.esop import (
+    EsopResult,
+    _difference_positions,
+    _merge_distance1,
+    minimize_esop,
+)
+from repro.grm.minimize import minimize_exact
+from tests.conftest import truth_tables
+
+
+@given(truth_tables(1, 7))
+def test_cover_stays_equal_to_function(f):
+    res = minimize_esop(f)
+    assert res.to_truthtable(f.n) == f
+
+
+@given(truth_tables(1, 6))
+def test_never_worse_than_best_grm(f):
+    res = minimize_esop(f)
+    assert res.cube_count <= res.initial_count
+    assert res.initial_count == minimize_exact(f).cube_count
+
+
+def test_merge_distance1_identities():
+    a = Cube.from_string("10-")
+    b = Cube.from_string("11-")  # differ at var 1 (0 vs 1)
+    merged = _merge_distance1(a, b, 1)
+    assert merged == Cube.from_string("1--")
+    c = Cube.from_string("1--")
+    d = Cube.from_string("10-")  # differ at var 1 (absent vs 0)
+    merged2 = _merge_distance1(c, d, 1)
+    assert merged2 == Cube.from_string("11-")
+    with pytest.raises(ValueError):
+        _merge_distance1(a, a, 0)
+
+
+def test_difference_positions():
+    a = Cube.from_string("10-1")
+    b = Cube.from_string("1-01")
+    assert _difference_positions(a, b, 4) == [1, 2]
+
+
+def test_cancellation_of_identical_cubes():
+    cubes = [Cube.from_string("1-"), Cube.from_string("1-")]
+    res = minimize_esop(TruthTable.zero(2), initial=cubes)
+    assert res.cube_count == 0
+    assert res.to_truthtable(2) == TruthTable.zero(2)
+
+
+def test_known_minimal_esops():
+    # The 2:1 mux has a 2-cube disjoint ESOP.
+    res = minimize_esop(ops.mux())
+    assert res.cube_count == 2
+    # AND is one cube; parity of n is n single-literal cubes.
+    assert minimize_esop(ops.and_all(4)).cube_count == 1
+    assert minimize_esop(TruthTable.parity(5)).cube_count == 5
+
+
+def test_beats_grm_on_mixed_polarity_structures():
+    # f = x0·x1 ⊕ ~x0·x2 needs 2 ESOP cubes but 3 in any fixed polarity.
+    x = [TruthTable.var(3, i) for i in range(3)]
+    f = (x[0] & x[1]) ^ (~x[0] & x[2])
+    res = minimize_esop(f)
+    assert res.cube_count == 2
+    assert res.initial_count >= 3
+
+
+def test_custom_initial_cover():
+    f = TruthTable.parity(2)
+    # A redundant 4-cube cover of XOR: minterms.
+    cubes = [Cube.from_string("10"), Cube.from_string("01")]
+    res = minimize_esop(f, initial=cubes)
+    assert res.to_truthtable(2) == f
+    assert res.cube_count == 2
+
+
+def test_benchmark_function_improvement():
+    from repro.benchcircuits import build_circuit
+
+    f = build_circuit("9sym").outputs[0].table
+    res = minimize_esop(f)
+    assert res.to_truthtable(9) == f
+    assert res.cube_count < res.initial_count  # ESOP strictly beats GRM here

@@ -1,0 +1,92 @@
+"""Tests for the espresso-style two-level minimizer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.boolfunc import ops
+from repro.boolfunc.cube import Cube
+from repro.boolfunc.espresso import espresso, _expand, _irredundant, _reduce
+from repro.boolfunc.isop import cover_is_irredundant
+from repro.boolfunc.truthtable import TruthTable
+from tests.conftest import truth_tables
+
+
+@given(truth_tables(1, 7))
+def test_cover_equals_function(f):
+    res = espresso(f)
+    assert res.to_truthtable(f.n) == f
+
+
+@given(truth_tables(1, 6))
+def test_result_is_irredundant(f):
+    res = espresso(f)
+    assert res.cube_count == 0 or cover_is_irredundant(f, f, list(res.cubes))
+
+
+@given(truth_tables(1, 6))
+def test_never_worse_than_isop(f):
+    res = espresso(f)
+    assert res.cube_count <= res.initial_count
+
+
+@given(truth_tables(2, 6), st.data())
+def test_dont_cares_respected(on, data):
+    dc = TruthTable(on.n, data.draw(st.integers(0, (1 << (1 << on.n)) - 1))) & ~on
+    res = espresso(on, dc)
+    g = res.to_truthtable(on.n)
+    assert (on.bits & ~g.bits) == 0
+    assert (g.bits & ~(on | dc).bits) == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        espresso(TruthTable.one(2), TruthTable.one(2))  # overlapping sets
+    with pytest.raises(ValueError):
+        espresso(TruthTable.one(2), TruthTable.zero(3))
+
+
+def test_constants():
+    assert espresso(TruthTable.zero(3)).cube_count == 0
+    ones = espresso(TruthTable.one(3))
+    assert ones.cube_count == 1 and ones.cubes[0].support == 0
+
+
+def test_expand_swallows_contained_cubes():
+    n = 3
+    upper = ops.or_all(n).bits | 1  # everything except nothing... full-ish
+    cubes = [Cube.from_string("11-"), Cube.from_string("111")]
+    out = _expand(cubes, TruthTable.one(n).bits, ops.and_all(n).bits, n)
+    assert len(out) == 1 and out[0].support == 0  # grows to tautology
+
+
+def test_irredundant_removes_covered_cube():
+    n = 2
+    f = ops.or_all(2)
+    cubes = [Cube.from_string("1-"), Cube.from_string("-1"), Cube.from_string("11")]
+    out = _irredundant(cubes, f.bits, n)
+    assert len(out) == 2
+
+
+def test_reduce_preserves_coverage():
+    n = 3
+    f = ops.or_all(3)
+    cubes = [Cube.from_string("1--"), Cube.from_string("-1-"), Cube.from_string("--1")]
+    reduced = _reduce(cubes, f.bits, n)
+    acc = TruthTable.zero(n)
+    for c in reduced:
+        acc = acc | c.to_truthtable(n)
+    assert (f.bits & ~acc.bits) == 0
+
+
+def test_improves_redundant_initial_cover_via_dc():
+    # With the whole off-set as don't-care, one tautology cube suffices.
+    on = TruthTable.from_minterms(4, [1, 2, 4, 8])
+    dc = ~on
+    res = espresso(on, dc)
+    assert res.cube_count == 1
+
+
+def test_known_exact_results():
+    assert espresso(ops.and_all(4)).cube_count == 1
+    assert espresso(ops.or_all(4)).cube_count == 4
+    assert espresso(TruthTable.parity(3)).cube_count == 4  # all minterm-primes

@@ -1,0 +1,93 @@
+"""Unit and property tests for the FDD package."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bdd.manager import BddManager
+from repro.boolfunc.truthtable import TruthTable
+from repro.fdd.manager import Fdd
+from repro.grm.forms import Grm
+from tests.conftest import truth_tables
+
+
+def tables_with_polarity(min_n=1, max_n=6):
+    return truth_tables(min_n, max_n).flatmap(
+        lambda f: st.integers(0, (1 << f.n) - 1).map(lambda p: (f, p))
+    )
+
+
+@given(tables_with_polarity())
+def test_dense_and_folded_constructions_agree(fp):
+    f, pol = fp
+    mgr = BddManager(f.n)
+    dense = Fdd.from_truthtable(mgr, f, pol)
+    folded = Fdd.fold_from_bdd(mgr, mgr.from_truthtable(f), pol)
+    assert dense.is_equivalent(folded)
+
+
+@given(tables_with_polarity())
+def test_cube_set_matches_grm(fp):
+    f, pol = fp
+    mgr = BddManager(f.n)
+    fdd = Fdd.from_truthtable(mgr, f, pol)
+    grm = Grm.from_truthtable(f, pol)
+    assert frozenset(fdd.iter_cubes()) == grm.cubes
+    assert fdd.num_cubes() == grm.num_cubes()
+    assert fdd.to_grm() == grm
+
+
+@given(tables_with_polarity())
+def test_histogram_dp_matches_enumeration(fp):
+    f, pol = fp
+    mgr = BddManager(f.n)
+    fdd = Fdd.from_truthtable(mgr, f, pol)
+    assert fdd.cube_length_histogram() == fdd.to_grm().cube_length_histogram()
+
+
+def test_equivalence_check_semantics():
+    mgr = BddManager(3)
+    f = TruthTable.parity(3)
+    a = Fdd.from_truthtable(mgr, f, 0b111)
+    b = Fdd.from_truthtable(mgr, f, 0b111)
+    assert a.is_equivalent(b)
+    # Same function, different polarity vector: not the same GRM.
+    c = Fdd.from_truthtable(mgr, f, 0b110)
+    assert not a.is_equivalent(c)
+    other_mgr = BddManager(3)
+    d = Fdd.from_truthtable(other_mgr, f, 0b111)
+    with pytest.raises(ValueError):
+        a.is_equivalent(d)
+
+
+def test_parity_fdd_is_linear_sized():
+    n = 10
+    mgr = BddManager(n)
+    fdd = Fdd.fold_from_bdd(mgr, mgr.from_truthtable(TruthTable.parity(n)), (1 << n) - 1)
+    # XOR of n literals: n single-literal cubes; the coefficient
+    # characteristic function is one-hot, whose ROBDD has ~2 nodes per
+    # level.
+    assert fdd.num_cubes() == n
+    assert fdd.node_count() <= 2 * n + 2
+
+
+def test_pole_and_dc_children():
+    mgr = BddManager(2)
+    f = TruthTable.var(2, 0) & TruthTable.var(2, 1)  # single cube x0*x1
+    fdd = Fdd.from_truthtable(mgr, f, 0b11)
+    root = fdd.root
+    assert mgr.var_of(root) == 0
+    assert fdd.dc_child(root) == 0  # no cube without the x0 literal
+    pole = fdd.pole_child(root)
+    assert mgr.var_of(pole) == 1
+
+
+def test_wide_fold_does_not_materialize_dense_vector():
+    # 20 variables: the dense vector would be 2**20 bits; folding a
+    # structured function stays small.
+    n = 20
+    mgr = BddManager(n)
+    acc = mgr.variable(0)
+    for i in range(1, n):
+        acc = mgr.apply_xor(acc, mgr.variable(i))
+    fdd = Fdd.fold_from_bdd(mgr, acc, (1 << n) - 1)
+    assert fdd.num_cubes() == n

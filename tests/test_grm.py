@@ -1,0 +1,163 @@
+"""Unit and property tests for GRM transforms and forms."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.boolfunc.truthtable import TruthTable
+from repro.grm.forms import Grm
+from repro.grm.transform import (
+    cube_count,
+    fprm_coefficients,
+    fprm_inverse,
+    iter_cubes,
+    polarity_neg_mask,
+)
+from tests.conftest import truth_tables
+
+
+def tables_with_polarity(min_n=1, max_n=6):
+    return truth_tables(min_n, max_n).flatmap(
+        lambda f: st.integers(0, (1 << f.n) - 1).map(lambda p: (f, p))
+    )
+
+
+# ----------------------------------------------------------------------
+# Transform level
+# ----------------------------------------------------------------------
+
+def test_polarity_neg_mask():
+    assert polarity_neg_mask(3, 0b101) == 0b010
+    with pytest.raises(ValueError):
+        polarity_neg_mask(3, 0b1000)
+
+
+@given(tables_with_polarity())
+def test_fprm_roundtrip(fp):
+    f, pol = fp
+    coeffs = fprm_coefficients(f.bits, f.n, pol)
+    assert fprm_inverse(coeffs, f.n, pol) == f.bits
+
+
+def test_pprm_of_known_function():
+    # f = x0 ^ x0*x1 under all-positive polarity.
+    f = TruthTable.var(2, 0) ^ (TruthTable.var(2, 0) & TruthTable.var(2, 1))
+    coeffs = fprm_coefficients(f.bits, 2, 0b11)
+    assert sorted(iter_cubes(coeffs)) == [0b01, 0b11]
+    assert cube_count(coeffs) == 2
+
+
+def test_negative_polarity_literal():
+    # f = ~x0 is the single cube t0 under polarity 0.
+    f = ~TruthTable.var(1, 0)
+    coeffs = fprm_coefficients(f.bits, 1, 0b0)
+    assert list(iter_cubes(coeffs)) == [0b1]
+    # Under positive polarity it is 1 ^ x0.
+    coeffs_pos = fprm_coefficients(f.bits, 1, 0b1)
+    assert sorted(iter_cubes(coeffs_pos)) == [0b0, 0b1]
+
+
+# ----------------------------------------------------------------------
+# Form level
+# ----------------------------------------------------------------------
+
+@given(tables_with_polarity())
+def test_grm_canonical_roundtrip(fp):
+    f, pol = fp
+    grm = Grm.from_truthtable(f, pol)
+    assert grm.to_truthtable() == f
+    # Canonicity: rebuilding yields the identical object value.
+    assert Grm.from_truthtable(f, pol) == grm
+
+
+@given(tables_with_polarity())
+def test_theorem2_complement_toggles_constant_cube(fp):
+    f, pol = fp
+    grm = Grm.from_truthtable(f, pol)
+    comp = Grm.from_truthtable(~f, pol)
+    assert comp.cubes.symmetric_difference(grm.cubes) == {0}
+    assert comp == grm.complement()
+
+
+@given(tables_with_polarity(min_n=2))
+def test_xor_is_symmetric_difference(fp):
+    f, pol = fp
+    g = TruthTable(f.n, f.bits ^ ((1 << (1 << f.n)) - 1) >> 1)
+    a = Grm.from_truthtable(f, pol)
+    b = Grm.from_truthtable(g, pol)
+    assert (a ^ b).cubes == a.cubes.symmetric_difference(b.cubes)
+    assert (a ^ b).to_truthtable() == (f ^ g)
+
+
+def test_xor_requires_same_polarity():
+    f = TruthTable.parity(2)
+    with pytest.raises(ValueError):
+        Grm.from_truthtable(f, 0b01) ^ Grm.from_truthtable(f, 0b10)
+
+
+def test_xor_literal():
+    f = TruthTable.parity(3)
+    grm = Grm.from_truthtable(f, 0b111)
+    toggled = grm.xor_literal(1)
+    assert toggled.to_truthtable() == f ^ TruthTable.var(3, 1)
+
+
+def test_histograms_and_counts():
+    # f = 1 ^ x0 ^ x0*x1*x2 under positive polarity.
+    f = (
+        TruthTable.one(3)
+        ^ TruthTable.var(3, 0)
+        ^ (TruthTable.var(3, 0) & TruthTable.var(3, 1) & TruthTable.var(3, 2))
+    )
+    grm = Grm.from_truthtable(f, 0b111)
+    assert grm.cubes == {0b000, 0b001, 0b111}
+    assert grm.has_constant_cube()
+    assert grm.cube_length_histogram() == (1, 1, 0, 1)
+    assert grm.variable_cube_counts() == (2, 1, 1)
+    vic = grm.variable_inclusion_counts()
+    assert vic[1] == (1, 0, 0)
+    assert vic[3] == (1, 1, 1)
+    inc = grm.incidence_matrix()
+    assert inc[0][1] == 1 and inc[0][0] == 1 and inc[1][1] == 0
+    assert grm.incidence_totals() == (2, 2, 2)
+
+
+def test_branch_sets_decomposition():
+    # f = x0 ^ x1 ^ x0*x2: B (t0 without t1) = {1, t2}, C (t1 without t0) = {1}.
+    f = TruthTable.var(3, 0) ^ TruthTable.var(3, 1) ^ (
+        TruthTable.var(3, 0) & TruthTable.var(3, 2)
+    )
+    grm = Grm.from_truthtable(f, 0b111)
+    b, c = grm.branch_sets(0, 1)
+    assert b == frozenset({0b000, 0b100})
+    assert c == frozenset({0b000})
+
+
+@given(tables_with_polarity(min_n=2))
+def test_relabel_matches_function_permutation(fp):
+    f, pol = fp
+    n = f.n
+    perm = tuple(range(1, n)) + (0,)  # rotate variables
+    grm = Grm.from_truthtable(f, pol)
+    relabeled = grm.relabel(perm)
+    from repro.boolfunc.transform import NpnTransform
+
+    g = NpnTransform(perm).apply(f)
+    assert Grm.from_truthtable(g, relabeled.polarity) == relabeled
+
+
+def test_swap_vars_cubeset():
+    f = TruthTable.var(2, 0)
+    grm = Grm.from_truthtable(f, 0b11)
+    assert grm.swap_vars_cubeset(0, 1) == frozenset({0b10})
+
+
+def test_to_expression():
+    f = TruthTable.one(2) ^ (TruthTable.var(2, 0) & ~TruthTable.var(2, 1))
+    grm = Grm.from_truthtable(f, 0b01)
+    assert grm.to_expression() == "1 ^ x0*~x1"
+    assert Grm.from_truthtable(TruthTable.zero(2), 0b11).to_expression() == "0"
+
+
+def test_bad_cube_mask_rejected():
+    with pytest.raises(ValueError):
+        Grm(2, 0b11, frozenset({5}))

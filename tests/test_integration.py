@@ -1,0 +1,155 @@
+"""Cross-module integration tests: the full pipelines end to end."""
+
+import random
+
+import pytest
+
+from repro import (
+    CellLibrary,
+    Grm,
+    NpnTransform,
+    TruthTable,
+    canonical_form,
+    differentiate_circuit,
+    is_npn_equivalent,
+    match,
+)
+from repro.baselines import exhaustive
+from repro.benchcircuits import build_circuit, parse_blif, write_blif
+from repro.benchcircuits.netlist import Netlist
+from repro.core.differentiate import differentiate_output
+from repro.core.matcher import MatchBudgetExceededError
+
+
+def test_public_api_importable():
+    import repro
+
+    assert repro.__version__
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None or name == "__version__"
+
+
+def test_verification_flow_recovers_hidden_correspondence(rng):
+    """Logic-verification scenario: the same circuit with scrambled
+    input order/phases per output must match output-by-output."""
+    circuit = build_circuit("rd73")
+    for out in circuit.outputs:
+        hidden = NpnTransform.random(out.table.n, rng)
+        scrambled = hidden.apply(out.table)
+        recovered = match(out.table, scrambled)
+        assert recovered is not None
+        assert recovered.apply(out.table) == scrambled
+
+
+def test_matching_benchmark_outputs_against_each_other():
+    """Distinct benchmark outputs of equal arity rarely match — and when
+    the matcher says they do, the transform is a real witness."""
+    circuit = build_circuit("cm138a")
+    tables = [o.table for o in circuit.outputs]
+    for i, a in enumerate(tables):
+        for b in tables[i + 1:]:
+            if a.n != b.n:
+                continue
+            t = match(a, b)
+            if t is not None:
+                assert t.apply(a) == b
+
+
+def test_cm138a_outputs_all_same_npn_class():
+    """Decoder outputs are npn-equivalent by construction (same function
+    on permuted/complemented selects)."""
+    circuit = build_circuit("cm138a")
+    canons = {canonical_form(o.table)[0].bits for o in circuit.outputs}
+    assert len(canons) == 1
+
+
+def test_blif_to_differentiation_pipeline():
+    text = """.model add2
+.inputs a0 a1 b0 b1
+.outputs s0 s1 c
+.names a0 b0 s0
+10 1
+01 1
+.names a0 b0 k0
+11 1
+.names a1 b1 k1
+11 1
+.names a1 b1 p1
+10 1
+01 1
+.names p1 k0 s1
+10 1
+01 1
+.names k1 p1 k0 c
+1-- 1
+-11 1
+.end
+"""
+    nl = parse_blif(text)
+    pairs = []
+    for out in nl.outputs:
+        tt, support = nl.output_function(out)
+        pairs.append((tt, support))
+    result = differentiate_circuit(nl.name, len(nl.inputs), pairs)
+    assert result.n_outputs == 3
+    # The adder treats (a0,b0) and (a1,b1) symmetrically inside outputs.
+    assert result.hard_outputs == 0
+
+
+def test_blif_roundtrip_preserves_matching():
+    nl = Netlist("x", ["a", "b", "c"], ["y"])
+    nl.add("y", "MAJ", "a", "b", "c")
+    tt1, _ = nl.output_function("y")
+    tt2, _ = parse_blif(write_blif(nl)).output_function("y")
+    assert is_npn_equivalent(tt1, tt2)
+    assert tt1 == tt2
+
+
+def test_techmap_on_netlist_nodes(rng):
+    lib = CellLibrary()
+    nl = Netlist("m", ["a", "b", "c", "d"], ["y", "z"])
+    nl.add("t1", "NAND", "a", "b")
+    nl.add("t2", "NOR", "c", "d")
+    nl.add("y", "XOR", "t1", "t2")
+    nl.add("z", "MUX", "a", "t1", "t2")
+    mapped = 0
+    for net in ("t1", "t2", "y", "z"):
+        tt, _ = nl.output_function(net)
+        reduced, _ = tt.project_to_support()
+        binding = lib.bind(reduced)
+        if binding is not None:
+            assert binding.transform.apply(binding.cell.function) == reduced
+            mapped += 1
+    assert mapped >= 3
+
+
+def test_grm_matcher_and_exhaustive_tell_same_story(rng):
+    for _ in range(30):
+        n = rng.randint(2, 4)
+        f = TruthTable.random(n, rng)
+        g = TruthTable.random(n, rng)
+        assert (match(f, g) is not None) == exhaustive.is_npn_equivalent(f, g)
+
+
+def test_hard_budget_error_is_catchable(rng):
+    """A pathological options setting must raise, never mis-answer."""
+    from repro.core.matcher import MatchOptions, match_with_stats
+
+    f = TruthTable.parity(9)
+    g = ~f
+    opts = MatchOptions(hard_enumeration_limit=1)
+    with pytest.raises(MatchBudgetExceededError):
+        match_with_stats(f, g, opts)
+
+
+def test_differentiate_output_matches_match_ambiguity(rng):
+    """If differentiation says all variables are separable (discrete
+    partition), then self-matching finds few leaf checks."""
+    from repro.core.matcher import match_with_stats
+
+    circuit = build_circuit("con1")
+    for out in circuit.outputs:
+        rep = differentiate_output(out.table, mode="enhanced")
+        stats = match_with_stats(out.table, out.table).stats
+        if all(len(b) == 1 for b in rep.blocks):
+            assert stats.leaf_checks <= 4

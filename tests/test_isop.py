@@ -1,0 +1,71 @@
+"""Tests for the Minato-Morreale ISOP cover generator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.boolfunc import ops
+from repro.boolfunc.cube import sop_to_truthtable
+from repro.boolfunc.isop import cover_is_irredundant, isop, isop_cover
+from repro.boolfunc.truthtable import TruthTable
+from tests.conftest import truth_tables
+
+
+@given(truth_tables(1, 7))
+def test_cover_equals_function(f):
+    cubes = isop_cover(f)
+    assert sop_to_truthtable(f.n, cubes) == f
+
+
+@given(truth_tables(1, 6))
+def test_cover_is_irredundant(f):
+    assert cover_is_irredundant(f, f, isop_cover(f))
+
+
+@given(truth_tables(2, 6), st.data())
+def test_dont_cares_respected(lower, data):
+    extra = TruthTable(lower.n, data.draw(st.integers(0, (1 << (1 << lower.n)) - 1)))
+    upper = lower | extra
+    cubes = isop(lower, upper)
+    g = sop_to_truthtable(lower.n, cubes)
+    assert (lower.bits & ~g.bits) == 0
+    assert (g.bits & ~upper.bits) == 0
+
+
+def test_bounds_validated():
+    with pytest.raises(ValueError):
+        isop(TruthTable.one(2), TruthTable.zero(2))
+    with pytest.raises(ValueError):
+        isop(TruthTable.zero(2), TruthTable.zero(3))
+
+
+def test_constants():
+    assert isop_cover(TruthTable.zero(3)) == []
+    ones = isop_cover(TruthTable.one(3))
+    assert len(ones) == 1 and ones[0].support == 0
+
+
+def test_known_covers():
+    # x0 | x1 needs exactly two cubes.
+    f = ops.or_all(2)
+    cubes = isop_cover(f)
+    assert len(cubes) == 2
+    # AND is a single full cube.
+    cubes_and = isop_cover(ops.and_all(3))
+    assert len(cubes_and) == 1 and cubes_and[0].size() == 3
+    # Parity of n variables needs all 2**(n-1) minterm-sized cubes.
+    par = TruthTable.parity(3)
+    assert len(isop_cover(par)) == 4
+
+
+def test_isop_much_smaller_than_minterms():
+    f = ops.threshold(8, 3)
+    cubes = isop_cover(f)
+    assert len(cubes) < f.count() / 3
+
+
+def test_dont_care_exploitation():
+    # With the whole space as don't-care above a single minterm, one
+    # cube (possibly the tautology) suffices.
+    lower = TruthTable.from_minterms(4, [5])
+    cubes = isop(lower, TruthTable.one(4))
+    assert len(cubes) == 1

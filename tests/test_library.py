@@ -1,0 +1,79 @@
+"""Tests for the cell library and technology-mapping layer."""
+
+import random
+
+import pytest
+
+from repro.boolfunc import ops
+from repro.boolfunc.transform import NpnTransform
+from repro.boolfunc.truthtable import TruthTable
+from repro.library import Binding, CellLibrary, LibraryCell, cells_by_name, default_cells
+
+
+def test_default_cells_are_well_formed():
+    cells = default_cells()
+    names = [c.name for c in cells]
+    assert len(set(names)) == len(names)
+    for cell in cells:
+        assert cell.function.n == cell.n_inputs
+        assert cell.area > 0
+
+
+def test_cells_by_name_lookup():
+    cells = cells_by_name()
+    assert cells["XOR2"].function == ops.xor_all(2)
+    assert cells["MAJ3"].function == ops.majority(3)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return CellLibrary()
+
+
+def test_matchable_cells_groups_npn_class(library):
+    # AND2, NAND2, OR2, NOR2 are all npn-equivalent.
+    hits = {c.name for c in library.matchable_cells(ops.and_all(2))}
+    assert {"AND2", "NAND2", "OR2", "NOR2"} <= hits
+
+
+def test_bind_prefers_cheaper_cell(library):
+    binding = library.bind(~ops.and_all(2))
+    assert binding is not None
+    assert binding.cell.name in ("NAND2", "NOR2")  # cheaper than AND2/OR2
+    assert binding.transform.apply(binding.cell.function) == ~ops.and_all(2)
+
+
+def test_bind_recovers_pin_assignment(library, rng):
+    for cell in default_cells():
+        t = NpnTransform.random(cell.n_inputs, rng)
+        target = t.apply(cell.function)
+        binding = library.bind(target)
+        assert binding is not None, cell.name
+        assert binding.transform.apply(binding.cell.function) == target
+
+
+def test_bind_unmatchable_returns_none(library):
+    weird = TruthTable.from_minterms(4, [0, 3, 5, 6, 9, 11, 14])
+    assert library.bind(weird) is None
+    assert library.matchable_cells(TruthTable.parity(7)) == []
+
+
+def test_inverter_count():
+    b = Binding(
+        cell=LibraryCell("X", ops.and_all(2), 1.0),
+        transform=NpnTransform((1, 0), 0b11, True),
+    )
+    assert b.inverter_count() == 3
+
+
+def test_bind_all(library):
+    funcs = [ops.xor_all(2), ops.and_all(3), TruthTable.parity(7)]
+    bindings = library.bind_all(funcs)
+    assert bindings[0] is not None and bindings[1] is not None
+    assert bindings[2] is None
+
+
+def test_custom_library():
+    lib = CellLibrary([LibraryCell("ONLY", ops.xor_all(3), 2.0)])
+    assert lib.bind(~ops.xor_all(3)) is not None
+    assert lib.bind(ops.and_all(3)) is None

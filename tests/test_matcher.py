@@ -1,0 +1,188 @@
+"""Tests for the Boolean matching procedure (Section 6)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import exhaustive
+from repro.boolfunc import ops
+from repro.boolfunc.random_gen import random_balanced_function
+from repro.boolfunc.transform import NpnTransform, random_equivalent_pair
+from repro.boolfunc.truthtable import TruthTable
+from repro.core.matcher import (
+    MatchOptions,
+    hard_completions,
+    is_np_equivalent,
+    is_npn_equivalent,
+    match,
+    match_with_stats,
+    np_match,
+)
+from repro.core.polarity import decide_polarity_primary
+from tests.conftest import truth_tables
+
+
+# ----------------------------------------------------------------------
+# Soundness: every reported transform is verified
+# ----------------------------------------------------------------------
+
+@given(truth_tables(1, 6), st.data())
+def test_equivalent_pairs_always_match(f, data):
+    n = f.n
+    perm = tuple(data.draw(st.permutations(range(n))))
+    neg = data.draw(st.integers(0, (1 << n) - 1))
+    out = data.draw(st.booleans())
+    t = NpnTransform(perm, neg, out)
+    g = t.apply(f)
+    found = match(f, g)
+    assert found is not None
+    assert found.apply(f) == g
+
+
+@given(truth_tables(1, 5), st.data())
+def test_np_matching_never_uses_output_negation(f, data):
+    n = f.n
+    perm = tuple(data.draw(st.permutations(range(n))))
+    neg = data.draw(st.integers(0, (1 << n) - 1))
+    t = NpnTransform(perm, neg, False)
+    g = t.apply(f)
+    found = match(f, g, allow_output_neg=False)
+    assert found is not None
+    assert not found.output_neg
+    assert found.apply(f) == g
+
+
+# ----------------------------------------------------------------------
+# Completeness: agreement with the exhaustive baseline
+# ----------------------------------------------------------------------
+
+@given(truth_tables(1, 4), truth_tables(1, 4))
+def test_agrees_with_exhaustive_npn(f, g):
+    if f.n != g.n:
+        assert match(f, g) is None
+        return
+    assert (match(f, g) is not None) == exhaustive.is_npn_equivalent(f, g)
+
+
+@given(truth_tables(1, 4), truth_tables(1, 4))
+def test_agrees_with_exhaustive_np(f, g):
+    if f.n != g.n:
+        return
+    ours = match(f, g, allow_output_neg=False) is not None
+    theirs = exhaustive.match(f, g, allow_output_neg=False) is not None
+    assert ours == theirs
+
+
+# ----------------------------------------------------------------------
+# Edge cases and hard families
+# ----------------------------------------------------------------------
+
+def test_zero_variable_functions():
+    zero = TruthTable.zero(0)
+    one = TruthTable.one(0)
+    assert match(zero, zero) == NpnTransform(())
+    t = match(zero, one)
+    assert t is not None and t.output_neg
+    assert match(zero, one, allow_output_neg=False) is None
+
+
+def test_constants_with_variables():
+    zero = TruthTable.zero(3)
+    one = TruthTable.one(3)
+    assert match(zero, one) is not None
+    assert match(zero, zero) is not None
+    assert match(zero, TruthTable.var(3, 0)) is None
+
+
+def test_mismatched_widths():
+    assert match(TruthTable.zero(2), TruthTable.zero(3)) is None
+
+
+def test_parity_matches_its_complement():
+    f = TruthTable.parity(6)
+    t = match(f, ~f)
+    assert t is not None and t.apply(f) == ~f
+
+
+def test_all_balanced_functions_match(rng):
+    for _ in range(10):
+        f = random_balanced_function(5, rng)
+        t = NpnTransform.random(5, rng)
+        g = t.apply(f)
+        found = match(f, g)
+        assert found is not None and found.apply(f) == g
+
+
+def test_symmetric_functions_match_fast(rng):
+    f = ops.majority(9)
+    t = NpnTransform.random(9, rng)
+    g = t.apply(f)
+    out = match_with_stats(f, g)
+    assert out.transform is not None
+    assert out.stats.search_nodes <= 30  # symmetry collapses the search
+
+
+def test_different_weight_classes_rejected_immediately():
+    f = TruthTable.from_minterms(4, [0, 1])
+    g = TruthTable.from_minterms(4, [0, 1, 2])
+    out = match_with_stats(f, g)
+    assert out.transform is None
+    assert out.stats.search_nodes == 0
+
+
+def test_vacuous_variables_map_freely():
+    f = TruthTable.var(4, 0)
+    g = TruthTable.var(4, 3)
+    t = match(f, g)
+    assert t is not None and t.apply(f) == g
+
+
+# ----------------------------------------------------------------------
+# Options and statistics
+# ----------------------------------------------------------------------
+
+def test_options_disable_symmetry_pruning(rng):
+    f = ops.majority(7)
+    t = NpnTransform.random(7, rng)
+    g = t.apply(f)
+    fast = match_with_stats(f, g)
+    slow = match_with_stats(f, g, MatchOptions(use_symmetry_pruning=False))
+    assert fast.transform is not None and slow.transform is not None
+    assert fast.stats.search_nodes <= slow.stats.search_nodes
+
+
+def test_options_disable_signature_gate(rng):
+    f, g, _ = random_equivalent_pair(5, rng)
+    out = match_with_stats(f, g, MatchOptions(use_function_signature_gate=False))
+    assert out.transform is not None and out.transform.apply(f) == g
+
+
+def test_options_disable_signature_families(rng):
+    f, g, _ = random_equivalent_pair(5, rng)
+    opts = MatchOptions(signature_families=("weights",))
+    out = match_with_stats(f, g, opts)
+    assert out.transform is not None and out.transform.apply(f) == g
+
+
+def test_stats_are_populated(rng):
+    f, g, _ = random_equivalent_pair(5, rng)
+    out = match_with_stats(f, g)
+    assert out.stats.phase_pairs_tried >= 1
+    assert out.stats.grms_built >= 2
+    assert out.stats.search_nodes >= 1
+
+
+def test_hard_completions_reduced_by_ne_classes():
+    f = TruthTable.parity(8)
+    d = decide_polarity_primary(f)
+    comps = hard_completions(f, d, limit=4096)
+    # All 8 hard variables are NE-symmetric: 9 canonical completions.
+    assert len(comps) == 9
+
+
+def test_is_predicates(rng):
+    f, g, t = random_equivalent_pair(4, rng)
+    assert is_npn_equivalent(f, g)
+    if not t.output_neg:
+        assert is_np_equivalent(f, g)

@@ -1,0 +1,100 @@
+"""Tests for fixed-polarity Reed-Muller minimization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.boolfunc import ops
+from repro.boolfunc.truthtable import TruthTable
+from repro.grm.forms import Grm
+from repro.grm.minimize import (
+    flip_polarity_axis,
+    literal_count,
+    minimize_exact,
+    minimize_greedy,
+    polarity_profile,
+)
+from repro.grm.transform import fprm_coefficients
+from tests.conftest import truth_tables
+
+
+@given(truth_tables(1, 6), st.data())
+def test_flip_polarity_axis_matches_direct_transform(f, data):
+    pol = data.draw(st.integers(0, (1 << f.n) - 1))
+    axis = data.draw(st.integers(0, f.n - 1))
+    a = fprm_coefficients(f.bits, f.n, pol)
+    b = fprm_coefficients(f.bits, f.n, pol ^ (1 << axis))
+    assert flip_polarity_axis(a, f.n, axis) == b
+
+
+@given(truth_tables(1, 5))
+def test_exact_matches_brute_force(f):
+    res = minimize_exact(f)
+    brute = min(
+        (
+            bin(fprm_coefficients(f.bits, f.n, p)).count("1"),
+            p,
+        )
+        for p in range(1 << f.n)
+    )
+    assert (res.cube_count, res.polarity) == brute
+    assert res.polarities_visited == 1 << f.n
+
+
+@given(truth_tables(1, 5))
+def test_greedy_is_sound_and_not_better_than_exact(f):
+    exact = minimize_exact(f)
+    greedy = minimize_greedy(f)
+    assert greedy.cube_count >= exact.cube_count
+    # Greedy's reported count matches the actual form.
+    assert Grm.from_truthtable(f, greedy.polarity).num_cubes() == greedy.cube_count
+
+
+@given(truth_tables(1, 5))
+def test_profile_consistency(f):
+    prof = polarity_profile(f)
+    assert len(prof) == 1 << f.n
+    res = minimize_exact(f)
+    assert min(prof) == res.cube_count
+    assert prof[res.polarity] == res.cube_count
+    for pol in (0, (1 << f.n) - 1):
+        assert prof[pol] == Grm.from_truthtable(f, pol).num_cubes()
+
+
+def test_literal_objective():
+    f = ops.or_all(3)
+    by_lits = minimize_exact(f, objective="literals")
+    direct = Grm.from_truthtable(f, by_lits.polarity)
+    assert by_lits.literal_count == sum(
+        bin(c).count("1") for c in direct.cubes
+    )
+    # OR of 3 under all-negative polarity: 1 ^ ~x0*~x1*~x2 — 3 literals.
+    assert by_lits.literal_count == 3
+    assert by_lits.polarity == 0
+
+
+def test_known_minimums():
+    # Parity is its own minimal form: n cubes under any polarity.
+    f = TruthTable.parity(5)
+    res = minimize_exact(f)
+    assert res.cube_count == 5
+    # AND: single cube under positive polarity.
+    res_and = minimize_exact(ops.and_all(4))
+    assert res_and.cube_count == 1 and res_and.polarity == 0b1111
+
+
+def test_exact_cap():
+    with pytest.raises(ValueError):
+        minimize_exact(TruthTable.zero(20), max_vars=18)
+
+
+def test_bad_objective():
+    with pytest.raises(ValueError):
+        minimize_exact(TruthTable.zero(2), objective="area")
+
+
+def test_greedy_start_polarity():
+    f = ops.or_all(4)
+    res = minimize_greedy(f, start_polarity=0b1111)
+    # From all-positive, flipping everything reaches the 2-cube form
+    # 1 ^ ~x0~x1~x2~x3 (greedy may or may not get there; check soundness).
+    assert res.cube_count >= minimize_exact(f).cube_count

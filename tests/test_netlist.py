@@ -1,0 +1,111 @@
+"""Tests for the netlist substrate."""
+
+import pytest
+
+from repro.benchcircuits.netlist import Gate, Netlist
+from repro.boolfunc.truthtable import TruthTable
+
+
+def _full_adder() -> Netlist:
+    nl = Netlist("fa", ["a", "b", "cin"], ["sum", "cout"])
+    nl.add("sum", "XOR", "a", "b", "cin")
+    nl.add("cout", "MAJ", "a", "b", "cin")
+    return nl
+
+
+def test_gate_validation():
+    with pytest.raises(ValueError):
+        Gate("y", "FROB", ("a",))
+    with pytest.raises(ValueError):
+        Gate("y", "MUX", ("a", "b"))
+    with pytest.raises(ValueError):
+        Gate("y", "NOT", ("a", "b"))
+
+
+def test_duplicate_driver_rejected():
+    nl = Netlist("t", ["a"], ["y"])
+    nl.add("y", "BUF", "a")
+    with pytest.raises(ValueError):
+        nl.add("y", "NOT", "a")
+    with pytest.raises(ValueError):
+        nl.add("a", "NOT", "a")
+
+
+def test_undriven_net_detected():
+    nl = Netlist("t", ["a"], ["y"])
+    nl.add("y", "AND", "a", "ghost")
+    with pytest.raises(KeyError):
+        nl.validate()
+
+
+def test_cycle_detected():
+    nl = Netlist("t", ["a"], ["y"])
+    nl.add("y", "AND", "a", "z")
+    nl.add("z", "NOT", "y")
+    with pytest.raises(ValueError):
+        nl.validate()
+
+
+def test_full_adder_functions():
+    nl = _full_adder()
+    tt, support = nl.output_function("sum")
+    assert support == (0, 1, 2)
+    assert tt == TruthTable.parity(3)
+    carry, _ = nl.output_function("cout")
+    assert carry.count() == 4
+
+
+def test_cone_extraction_ignores_unrelated_inputs():
+    nl = Netlist("t", ["a", "b", "c"], ["y"])
+    nl.add("y", "AND", "a", "c")
+    tt, support = nl.output_function("y")
+    assert support == (0, 2)
+    assert tt.n == 2
+
+
+def test_support_cap_enforced():
+    nl = Netlist("wide", [f"i{k}" for k in range(20)], ["y"])
+    nl.add("y", "OR", *[f"i{k}" for k in range(20)])
+    with pytest.raises(ValueError):
+        nl.output_function("y", max_support=16)
+    tt, _ = nl.output_function("y", max_support=20)
+    assert tt.count() == (1 << 20) - 1
+
+
+def test_sop_gate_and_cover_value():
+    nl = Netlist("t", ["a", "b"], ["y", "z"])
+    nl.add_gate(Gate("y", "SOP", ("a", "b"), ("1-", "-1"), 1))
+    nl.add_gate(Gate("z", "SOP", ("a", "b"), ("11",), 0))  # off-set cover
+    ty, _ = nl.output_function("y")
+    tz, _ = nl.output_function("z")
+    assert sorted(ty.minterms()) == [1, 2, 3]
+    assert sorted(tz.minterms()) == [0, 1, 2]
+
+
+def test_mux_and_const_gates():
+    nl = Netlist("t", ["s", "a", "b"], ["y", "k1"])
+    nl.add("y", "MUX", "s", "a", "b")
+    nl.add_gate(Gate("k1", "CONST1"))
+    ty, support = nl.output_function("y")
+    assert support == (0, 1, 2)
+    for m in range(8):
+        s, a, b = m & 1, (m >> 1) & 1, (m >> 2) & 1
+        assert ty.evaluate(m) == (b if s else a)
+    tk, sup = nl.output_function("k1")
+    assert tk.n == 0 and tk.bits == 1 and sup == ()
+
+
+def test_simulate_agrees_with_tables(rng):
+    nl = _full_adder()
+    tt_sum, _ = nl.output_function("sum")
+    tt_cout, _ = nl.output_function("cout")
+    for m in range(8):
+        vals = nl.simulate({"a": m & 1, "b": (m >> 1) & 1, "cin": (m >> 2) & 1})
+        assert vals["sum"] == tt_sum.evaluate(m)
+        assert vals["cout"] == tt_cout.evaluate(m)
+
+
+def test_output_functions_batch():
+    nl = _full_adder()
+    result = nl.output_functions()
+    assert [name for name, _, _ in result] == ["sum", "cout"]

@@ -1,0 +1,76 @@
+"""Unit tests for the function-family constructors."""
+
+import pytest
+
+from repro.boolfunc import ops
+from repro.boolfunc.truthtable import TruthTable
+from repro.utils import bitops
+
+
+def test_and_or_xor_all():
+    assert ops.and_all(3).count() == 1
+    assert ops.or_all(3).count() == 7
+    assert ops.xor_all(3) == TruthTable.parity(3)
+    # Masked versions ignore unselected variables.
+    f = ops.xor_all(4, 0b0101)
+    assert f.support() == 0b0101
+
+
+def test_linear_function_constant_term():
+    f = ops.linear_function(3, 0b011, constant=1)
+    assert f.evaluate(0) == 1
+    assert f == ~ops.xor_all(3, 0b011)
+
+
+def test_symmetric_function_validation_and_values():
+    with pytest.raises(ValueError):
+        ops.symmetric_function(3, [0, 1])
+    f = ops.symmetric_function(3, [1, 0, 0, 1])
+    for m in range(8):
+        assert f.evaluate(m) == (bitops.popcount(m) in (0, 3))
+
+
+def test_threshold_exactly_interval():
+    assert ops.threshold(4, 2).count() == 11
+    assert ops.exactly(4, 2).count() == 6
+    assert ops.interval_function(4, 1, 3).count() == 14
+    assert ops.interval_function(9, 3, 6) == ops.threshold(9, 3) & ~ops.threshold(9, 7)
+
+
+def test_majority():
+    m3 = ops.majority(3)
+    assert m3.count() == 4
+    assert m3.evaluate(0b011) == 1 and m3.evaluate(0b001) == 0
+    m4 = ops.majority(4)  # strict majority: >= 3 of 4
+    assert m4.evaluate(0b0011) == 0 and m4.evaluate(0b0111) == 1
+
+
+def test_mux():
+    m = ops.mux()
+    for s in (0, 1):
+        for a in (0, 1):
+            for b in (0, 1):
+                idx = a | (b << 1) | (s << 2)
+                assert m.evaluate(idx) == (b if s else a)
+    with pytest.raises(ValueError):
+        ops.mux(4)
+
+
+def test_adder_sum_bit():
+    s1 = ops.adder_sum_bit(2, 1)
+    # a=3 (x0=x1=1), b=1 (x2=1): sum=4 -> bit1 = 0
+    assert s1.evaluate(0b0111) == 0
+    # a=1, b=1: sum=2 -> bit1 = 1
+    assert s1.evaluate(0b0101) == 1
+    carry = ops.adder_sum_bit(2, 2)
+    assert carry.evaluate(0b1111) == 1  # 3 + 3 = 6 has bit2 set
+    with pytest.raises(ValueError):
+        ops.adder_sum_bit(2, 5)
+
+
+def test_comparator_greater():
+    gt = ops.comparator_greater(2)
+    # a encoded in bits 0..1, b in bits 2..3
+    assert gt.evaluate(0b0010) == 1  # a=2 > b=0
+    assert gt.evaluate(0b1000) == 0  # a=0 < b=2
+    assert gt.evaluate(0b1010) == 0  # equal

@@ -1,0 +1,70 @@
+"""Unit tests for ordered partition refinement."""
+
+import pytest
+
+from repro.utils.partition import Partition
+
+
+def test_initial_partition_is_one_block():
+    p = Partition(4)
+    assert p.blocks == [(0, 1, 2, 3)]
+    assert not p.is_discrete()
+
+
+def test_explicit_blocks_validated():
+    Partition(3, [[0, 2], [1]])
+    with pytest.raises(ValueError):
+        Partition(3, [[0, 1]])
+    with pytest.raises(ValueError):
+        Partition(3, [[0, 1], [1, 2]])
+
+
+def test_refine_splits_and_orders_by_key():
+    p = Partition(5)
+    changed = p.refine(lambda v: v % 2)
+    assert changed
+    assert p.blocks == [(0, 2, 4), (1, 3)]
+    assert not p.refine(lambda v: v % 2)  # idempotent
+
+
+def test_refine_preserves_block_boundaries():
+    p = Partition(4, [[0, 1], [2, 3]])
+    p.refine(lambda v: 0)  # constant key: no change
+    assert p.blocks == [(0, 1), (2, 3)]
+    p.refine(lambda v: v)  # fully discrete
+    assert p.is_discrete()
+    assert p.block_sizes() == [1, 1, 1, 1]
+
+
+def test_block_queries():
+    p = Partition(4, [[0, 3], [1], [2]])
+    assert p.nontrivial_blocks() == [(0, 3)]
+    assert p.block_of(3) == 0
+    assert p.block_of(2) == 2
+    with pytest.raises(KeyError):
+        p.block_of(9)
+
+
+def test_copy_is_independent():
+    p = Partition(3)
+    q = p.copy()
+    q.refine(lambda v: v)
+    assert not p.is_discrete()
+    assert q.is_discrete()
+
+
+def test_equality():
+    assert Partition(2, [[0], [1]]) == Partition(2, [[0], [1]])
+    assert Partition(2) != Partition(2, [[0], [1]])
+
+
+def test_heterogeneous_keys_do_not_crash():
+    p = Partition(4)
+    p.refine(lambda v: ("tuple", v % 2) if v < 2 else v)
+    assert sorted(map(len, p.blocks)) == [1, 1, 1, 1]
+
+
+def test_empty_partition():
+    p = Partition(0)
+    assert p.blocks == []
+    assert p.is_discrete()

@@ -1,0 +1,140 @@
+"""Tests for the Section 6.1/6.2 polarity-selection procedure."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.boolfunc import ops
+from repro.boolfunc.random_gen import random_balanced_function
+from repro.boolfunc.transform import NpnTransform
+from repro.boolfunc.truthtable import TruthTable
+from repro.core import polarity as pol_mod
+from repro.core.polarity import (
+    candidate_polarities,
+    canonical_grm,
+    decide_polarity,
+    decide_polarity_primary,
+    phase_candidates,
+)
+from repro.grm.transform import fprm_coefficients
+from tests.conftest import truth_tables
+
+
+def test_fold_axis_composes_to_fprm(rng):
+    for _ in range(30):
+        n = rng.randint(1, 6)
+        f = TruthTable.random(n, rng)
+        pol = rng.getrandbits(n)
+        t = f.bits
+        order = list(range(n))
+        rng.shuffle(order)
+        for i in order:
+            t = pol_mod._fold_axis(t, n, i, (pol >> i) & 1)
+        assert t == fprm_coefficients(f.bits, n, pol)
+
+
+def test_unbalanced_variables_get_m_pole():
+    # f = x0 | x1: both variables positive-unate with pcw > ncw.
+    f = ops.or_all(2)
+    d = decide_polarity_primary(f)
+    assert d.polarity == 0b11 and d.hard_mask == 0 and not d.used_linear
+
+
+def test_negative_m_pole():
+    f = ~ops.or_all(2)  # pcw < ncw for both variables
+    d = decide_polarity_primary(f)
+    assert d.polarity == 0b00
+    assert d.decided_mask == 0b11
+
+
+def test_vacuous_variables_marked():
+    f = TruthTable.var(3, 1)
+    d = decide_polarity_primary(f)
+    assert d.vacuous_mask == 0b101
+    assert d.decided_mask == 0b010
+
+
+def test_parity_stays_hard():
+    f = TruthTable.parity(4)
+    decisions = decide_polarity(f)
+    assert all(d.hard_mask == 0b1111 for d in decisions)
+
+
+def test_linear_trick_breaks_balanced_functions(rng):
+    resolved = 0
+    for _ in range(10):
+        f = random_balanced_function(5, rng)
+        decisions = decide_polarity(f)
+        if any(d.decided_mask == 0b11111 for d in decisions):
+            resolved += 1
+        assert all(d.used_linear or d.hard_mask for d in decisions)
+    assert resolved >= 5  # the trick usually works
+
+
+@given(truth_tables(2, 6), st.data())
+def test_np_equivariance_of_decisions(f, data):
+    """For every f-branch there is a compatible g-branch (Theorem 1's
+    backbone): hardness/vacuousness correspond and decided poles follow
+    the input phases."""
+    n = f.n
+    perm = tuple(data.draw(st.permutations(range(n))))
+    neg = data.draw(st.integers(0, (1 << n) - 1))
+    t = NpnTransform(perm, neg, False)
+    g = t.apply(f)
+    dfs, dgs = decide_polarity(f), decide_polarity(g)
+
+    def compatible(df, dg):
+        for i in range(n):
+            j = t.perm[i]
+            phase = (t.input_neg >> i) & 1
+            if ((df.hard_mask >> i) & 1) != ((dg.hard_mask >> j) & 1):
+                return False
+            if ((df.vacuous_mask >> i) & 1) != ((dg.vacuous_mask >> j) & 1):
+                return False
+            if not ((df.hard_mask | df.vacuous_mask) >> i) & 1:
+                if ((dg.polarity >> j) & 1) != ((df.polarity >> i) & 1) ^ phase:
+                    return False
+        return True
+
+    for df in dfs:
+        assert any(compatible(df, dg) for dg in dgs)
+
+
+def test_candidate_polarities_enumeration():
+    f = TruthTable.parity(3)
+    d = decide_polarity_primary(f)
+    cands = list(candidate_polarities(d))
+    assert len(cands) == 8
+    assert len(set(cands)) == 8
+    with pytest.raises(ValueError):
+        list(candidate_polarities(d, limit=4))
+
+
+def test_canonical_grm_roundtrip():
+    f = TruthTable.from_minterms(3, [1, 2, 4])
+    grm = canonical_grm(f)
+    assert grm.to_truthtable() == f
+
+
+def test_phase_candidates_rules():
+    light = TruthTable.from_minterms(3, [1])
+    heavy = TruthTable.from_minterms(3, [0, 1, 2, 3, 4])
+    neutral = TruthTable.parity(3)
+    assert phase_candidates(light) == [(light, False)]
+    assert phase_candidates(heavy) == [(~heavy, True)]
+    both = phase_candidates(neutral)
+    assert len(both) == 2 and both[0][0] == ~both[1][0]
+
+
+def test_decision_count_is_bounded(rng):
+    for _ in range(50):
+        n = rng.randint(1, 6)
+        f = TruthTable.random(n, rng)
+        assert 1 <= len(decide_polarity(f)) <= pol_mod.MAX_DECISIONS
+
+
+def test_rounds_counted():
+    f = ops.or_all(3)
+    d = decide_polarity_primary(f)
+    assert d.rounds >= 1

@@ -1,0 +1,89 @@
+"""Unit and property tests for prime cube detection (Section 3.3)."""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.boolfunc.truthtable import TruthTable
+from repro.core import primes
+from repro.grm.forms import Grm
+from tests.conftest import truth_tables
+
+
+def tables_with_polarity(min_n=1, max_n=6):
+    return truth_tables(min_n, max_n).flatmap(
+        lambda f: st.integers(0, (1 << f.n) - 1).map(lambda p: (f, p))
+    )
+
+
+def test_is_prime_support_definition():
+    # f = x0 ^ x1*x2: ∂f/∂{x0} = 1, ∂f/∂{x1,x2} = 1, ∂f/∂{x1} = x2.
+    f = TruthTable.var(3, 0) ^ (TruthTable.var(3, 1) & TruthTable.var(3, 2))
+    assert primes.is_prime_support(f, 0b001)
+    assert primes.is_prime_support(f, 0b110)
+    assert not primes.is_prime_support(f, 0b010)
+    assert not primes.is_prime_support(f, 0b111)
+
+
+@given(tables_with_polarity())
+def test_form_primes_match_exact_definition(fp):
+    f, pol = fp
+    grm = Grm.from_truthtable(f, pol)
+    assert grm.prime_cubes() == primes.prime_cubes_exact(f)
+
+
+@given(tables_with_polarity())
+def test_csanky_ladder_matches_superset_rule(fp):
+    f, pol = fp
+    grm = Grm.from_truthtable(f, pol)
+    assert primes.csanky_ladder(grm) == grm.prime_cubes()
+
+
+@given(truth_tables(1, 6), st.data())
+def test_primes_occur_in_every_grm_form(f, data):
+    pol_a = data.draw(st.integers(0, (1 << f.n) - 1))
+    pol_b = data.draw(st.integers(0, (1 << f.n) - 1))
+    a = Grm.from_truthtable(f, pol_a).prime_cubes()
+    b = Grm.from_truthtable(f, pol_b).prime_cubes()
+    assert a == b  # prime supports are form-independent (Csanky)
+
+
+def test_paper_example_primes():
+    # Paper Section 3.3: in f = x1 ^ x2*x3 ^ x3*x4 the cubes x2*x3 and
+    # x3*x4 are primes, and x1 is "also a prime but not one of the
+    # largest cardinality".
+    x = [TruthTable.var(4, i) for i in range(4)]
+    f = x[0] ^ (x[1] & x[2]) ^ (x[2] & x[3])
+    grm = Grm.from_truthtable(f, 0b1111)
+    assert grm.cubes == {0b0001, 0b0110, 0b1100}
+    assert grm.prime_cubes() == {0b0001, 0b0110, 0b1100}
+
+
+def test_nested_cube_not_prime():
+    # x1*x2 sits inside x1*x2*x3, so it cannot be prime.
+    x = [TruthTable.var(4, i) for i in range(4)]
+    f = x[0] ^ (x[1] & x[2]) ^ (x[1] & x[2] & x[3])
+    grm = Grm.from_truthtable(f, 0b1111)
+    assert grm.cubes == {0b0001, 0b0110, 0b1110}
+    assert grm.prime_cubes() == {0b0001, 0b1110}
+
+
+def test_prime_count_vector_and_matrices():
+    x = [TruthTable.var(3, i) for i in range(3)]
+    f = x[0] ^ (x[1] & x[2])
+    grm = Grm.from_truthtable(f, 0b111)
+    assert primes.prime_count_vector(grm) == [1, 1, 1]
+    pcvic = primes.prime_vic(grm)
+    assert pcvic[1] == (1, 0, 0)
+    assert pcvic[2] == (0, 1, 1)
+    pcinc = primes.prime_inc(grm)
+    assert pcinc[1][2] == 1 and pcinc[0][0] == 1 and pcinc[1][1] == 0
+
+
+def test_constant_functions_have_trivial_primes():
+    one = TruthTable.one(3)
+    grm = Grm.from_truthtable(one, 0b111)
+    assert grm.cubes == {0}
+    assert grm.prime_cubes() == {0}
+    zero = Grm.from_truthtable(TruthTable.zero(3), 0b111)
+    assert zero.prime_cubes() == frozenset()

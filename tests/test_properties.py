@@ -1,0 +1,209 @@
+"""Cross-cutting property-based tests.
+
+Hypothesis suites over the library's global invariants — the algebraic
+glue between subsystems that the per-module tests do not cover.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import exhaustive
+from repro.boolfunc.isop import isop_cover
+from repro.boolfunc.cube import sop_to_truthtable
+from repro.boolfunc.transform import NpnTransform
+from repro.boolfunc.truthtable import TruthTable
+from repro.boolfunc.walsh import walsh_spectrum
+from repro.core.canonical import canonical_form
+from repro.core.matcher import match, match_with_stats
+from repro.core.polarity import decide_polarity, phase_candidates
+from repro.core.signatures import function_signature
+from repro.core import primes as primes_mod
+from repro.core import symmetry as sym
+from repro.grm.forms import Grm
+from repro.grm.minimize import minimize_exact
+from repro.utils import bitops
+from tests.conftest import truth_tables
+
+
+def transforms_for(n):
+    return st.tuples(
+        st.permutations(range(n)),
+        st.integers(0, (1 << n) - 1),
+        st.booleans(),
+    ).map(lambda t: NpnTransform(tuple(t[0]), t[1], t[2]))
+
+
+# ----------------------------------------------------------------------
+# The matcher is an equivalence relation witness
+# ----------------------------------------------------------------------
+
+@given(truth_tables(1, 5))
+def test_match_is_reflexive(f):
+    t = match(f, f)
+    assert t is not None and t.apply(f) == f
+
+
+@given(truth_tables(1, 5), st.data())
+def test_match_is_symmetric_with_inverse_witness(f, data):
+    t = data.draw(transforms_for(f.n))
+    g = t.apply(f)
+    forward = match(f, g)
+    backward = match(g, f)
+    assert forward is not None and backward is not None
+    assert forward.apply(f) == g
+    assert backward.apply(g) == f
+    # The inverse of a forward witness is itself a backward witness.
+    assert forward.invert().apply(g) == f
+
+
+@given(truth_tables(1, 4), st.data())
+def test_match_is_transitive(f, data):
+    t1 = data.draw(transforms_for(f.n))
+    t2 = data.draw(transforms_for(f.n))
+    g = t1.apply(f)
+    h = t2.apply(g)
+    ab = match(f, g)
+    bc = match(g, h)
+    assert ab is not None and bc is not None
+    assert bc.compose(ab).apply(f) == h
+
+
+# ----------------------------------------------------------------------
+# Canonical form vs matcher vs exhaustive: one story
+# ----------------------------------------------------------------------
+
+@given(truth_tables(1, 4), truth_tables(1, 4))
+def test_three_way_equivalence_agreement(f, g):
+    if f.n != g.n:
+        return
+    via_match = match(f, g) is not None
+    via_canon = canonical_form(f)[0] == canonical_form(g)[0]
+    via_exhaustive = exhaustive.is_npn_equivalent(f, g)
+    assert via_match == via_canon == via_exhaustive
+
+
+@given(truth_tables(1, 5))
+def test_canonical_form_is_idempotent(f):
+    canon, _ = canonical_form(f)
+    again, t = canonical_form(canon)
+    assert again == canon
+    assert t.apply(canon) == canon
+
+
+# ----------------------------------------------------------------------
+# Signatures never produce false negatives
+# ----------------------------------------------------------------------
+
+@given(truth_tables(2, 5), st.data())
+def test_matched_pairs_have_equal_signatures_under_aligned_forms(f, data):
+    n = f.n
+    perm = tuple(data.draw(st.permutations(range(n))))
+    g = NpnTransform(perm).apply(f)
+    pol = data.draw(st.integers(0, (1 << n) - 1))
+    grm_f = Grm.from_truthtable(f, pol)
+    aligned = grm_f.relabel(perm)
+    grm_g = Grm.from_truthtable(g, aligned.polarity)
+    assert function_signature(f, grm_f) == function_signature(g, grm_g)
+
+
+@given(truth_tables(1, 5))
+def test_minimum_grm_is_npn_searchable(f):
+    """The minimal cube count is an npn invariant up to output phase."""
+    res = minimize_exact(f)
+    comp = minimize_exact(~f)
+    # Theorem 2: complementing toggles the constant cube only.
+    assert abs(res.cube_count - comp.cube_count) <= 1
+
+
+@given(truth_tables(1, 5), st.data())
+def test_minimum_cube_count_is_np_invariant(f, data):
+    t = data.draw(transforms_for(f.n))
+    g = t.apply(f)
+    a = minimize_exact(f).cube_count
+    b = minimize_exact(g).cube_count
+    assert abs(a - b) <= 1  # exact equality unless output phase flips
+
+
+# ----------------------------------------------------------------------
+# GRM / spectrum / primes consistency
+# ----------------------------------------------------------------------
+
+@given(truth_tables(1, 6), st.data())
+def test_grm_and_spectrum_describe_same_function(f, data):
+    pol = data.draw(st.integers(0, (1 << f.n) - 1))
+    grm = Grm.from_truthtable(f, pol)
+    assert walsh_spectrum(grm.to_truthtable()) == walsh_spectrum(f)
+
+
+@given(truth_tables(2, 5))
+def test_linear_variables_are_prime_singletons(f):
+    lin = sym.linear_variables(f)
+    primes = primes_mod.prime_cubes_exact(f)
+    for i in bitops.iter_bits(lin):
+        assert (1 << i) in primes
+
+
+@given(truth_tables(2, 5))
+def test_totally_symmetric_functions_match_their_permutations(f):
+    if not sym.is_classically_symmetric(f):
+        return
+    rng = random.Random(f.bits & 0xFFFF)
+    perm = list(range(f.n))
+    rng.shuffle(perm)
+    assert NpnTransform(tuple(perm)).apply(f) == f
+
+
+# ----------------------------------------------------------------------
+# Phase normalization and polarity branches
+# ----------------------------------------------------------------------
+
+@given(truth_tables(1, 6))
+def test_phase_candidates_weights(f):
+    for candidate, negated in phase_candidates(f):
+        assert candidate.count() <= (1 << f.n) // 2
+        assert candidate == (~f if negated else f)
+
+
+@given(truth_tables(1, 6))
+def test_polarity_decisions_partition_variables(f):
+    full = (1 << f.n) - 1
+    for d in decide_polarity(f):
+        assert d.decided_mask & d.hard_mask == 0
+        assert d.decided_mask & d.vacuous_mask == 0
+        assert d.decided_mask | d.hard_mask | d.vacuous_mask == full
+
+
+# ----------------------------------------------------------------------
+# ISOP and GRM as dual covers
+# ----------------------------------------------------------------------
+
+@given(truth_tables(1, 6))
+def test_isop_and_grm_covers_agree(f):
+    sop = sop_to_truthtable(f.n, isop_cover(f))
+    grm = Grm.from_truthtable(f, 0).to_truthtable()
+    assert sop == grm == f
+
+
+# ----------------------------------------------------------------------
+# Failure injection: corrupted data is caught, not mis-matched
+# ----------------------------------------------------------------------
+
+@given(truth_tables(2, 5), st.data())
+def test_single_minterm_corruption_never_matches_silently(f, data):
+    t = data.draw(transforms_for(f.n))
+    g = t.apply(f)
+    flip = data.draw(st.integers(0, (1 << f.n) - 1))
+    corrupted = g ^ TruthTable.from_minterms(f.n, [flip])
+    result = match(f, corrupted)
+    if result is not None:
+        # A match may legitimately exist (the corrupted function can be
+        # equivalent to f), but the witness must be genuine.
+        assert result.apply(f) == corrupted
+
+
+@given(truth_tables(2, 5))
+def test_stats_monotonicity(f):
+    out = match_with_stats(f, f)
+    assert out.transform is not None
+    assert out.stats.grms_built >= out.stats.phase_pairs_tried

@@ -1,0 +1,122 @@
+"""Unit tests for the TruthTable substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.boolfunc.truthtable import TruthTable
+from tests.conftest import truth_tables
+
+
+def test_constants_and_var():
+    assert TruthTable.zero(3).count() == 0
+    assert TruthTable.one(3).count() == 8
+    x1 = TruthTable.var(3, 1)
+    assert [x1.evaluate(m) for m in range(8)] == [0, 0, 1, 1, 0, 0, 1, 1]
+
+
+def test_from_minterms_and_minterms_roundtrip():
+    f = TruthTable.from_minterms(3, [0, 5, 6])
+    assert sorted(f.minterms()) == [0, 5, 6]
+    with pytest.raises(ValueError):
+        TruthTable.from_minterms(2, [4])
+
+
+def test_from_function_matches_parity():
+    f = TruthTable.from_function(4, lambda a: sum(a) % 2)
+    assert f == TruthTable.parity(4)
+
+
+def test_immutability():
+    f = TruthTable.zero(2)
+    with pytest.raises(AttributeError):
+        f.bits = 3
+
+
+def test_counting_predicates():
+    f = TruthTable.from_minterms(3, [0, 1, 2, 3])
+    assert f.is_neutral() and not f.is_odd()
+    g = TruthTable.from_minterms(3, [0])
+    assert g.is_odd() and not g.is_neutral()
+    assert TruthTable.one(2).is_constant()
+
+
+def test_cofactor_and_weights():
+    f = TruthTable.from_minterms(3, [1, 3, 4])
+    assert f.cofactor_weight(0, 1) == 2  # minterms 1, 3
+    assert f.cofactor_weight(0, 0) == 1  # minterm 4
+    c = f.cofactor(0, 1)
+    assert not c.depends_on(0)
+    assert c.count() == 4  # cofactor replicated over x0
+
+
+def test_balance_and_major_pole():
+    f = TruthTable.from_minterms(3, [1, 3, 4])
+    assert f.major_pole(0) == 1
+    g = TruthTable.parity(3)
+    assert g.is_balanced(0) and g.major_pole(0) is None
+    h = TruthTable.from_minterms(2, [0, 2])  # ~x0
+    assert h.major_pole(0) == 0
+
+
+def test_support_and_projection():
+    f = TruthTable.var(4, 2) ^ TruthTable.var(4, 0)
+    assert f.support() == 0b0101
+    reduced, keep = f.project_to_support()
+    assert keep == [0, 2]
+    assert reduced == TruthTable.parity(2)
+
+
+def test_boolean_difference_linear_var():
+    f = TruthTable.var(3, 1) ^ (TruthTable.var(3, 0) & TruthTable.var(3, 2))
+    assert f.boolean_difference(1) == TruthTable.one(3)
+    assert f.boolean_difference(0) == TruthTable.var(3, 2).cofactor(0, 0)
+
+
+@given(truth_tables(2, 6), st.data())
+def test_boolean_difference_set_is_order_independent(f, data):
+    i = data.draw(st.integers(0, f.n - 1))
+    j = data.draw(st.integers(0, f.n - 1).filter(lambda v: v != i))
+    mask = (1 << i) | (1 << j)
+    forward = f.boolean_difference(i).boolean_difference(j)
+    backward = f.boolean_difference(j).boolean_difference(i)
+    assert f.boolean_difference_set(mask) == forward == backward
+
+
+def test_algebra_ops():
+    a = TruthTable.var(2, 0)
+    b = TruthTable.var(2, 1)
+    assert (a & b).count() == 1
+    assert (a | b).count() == 3
+    assert (a ^ b) == TruthTable.parity(2)
+    assert ~(a & b) == TruthTable.from_minterms(2, [0, 1, 2])
+
+
+def test_mixed_width_rejected():
+    with pytest.raises(ValueError):
+        TruthTable.zero(2) & TruthTable.zero(3)
+    with pytest.raises(TypeError):
+        TruthTable.zero(2) & 3  # type: ignore[operator]
+
+
+@given(truth_tables(1, 6), st.data())
+def test_negate_inputs_is_involution(f, data):
+    mask = data.draw(st.integers(0, (1 << f.n) - 1))
+    assert f.negate_inputs(mask).negate_inputs(mask) == f
+
+
+def test_extend_keeps_function():
+    f = TruthTable.parity(2)
+    wide = f.extend(4)
+    assert wide.support() == 0b0011
+    assert wide.cofactor(3, 1).cofactor(2, 0).project_to_support()[0] == f
+
+
+def test_to_binary_string():
+    f = TruthTable.from_minterms(2, [0, 3])
+    assert f.to_binary_string() == "1001"
+
+
+def test_repr_and_hash():
+    f = TruthTable.parity(2)
+    assert "TruthTable" in repr(f)
+    assert len({f, TruthTable.parity(2)}) == 1

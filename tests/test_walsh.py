@@ -1,0 +1,121 @@
+"""Tests for the Walsh spectrum substrate and the spectral baseline."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.baselines import spectral
+from repro.boolfunc.transform import NpnTransform, random_equivalent_pair
+from repro.boolfunc.truthtable import TruthTable
+from repro.boolfunc.walsh import (
+    first_order_coefficient,
+    inverse_walsh,
+    spectrum_by_order,
+    variable_spectral_key,
+    walsh_spectrum,
+)
+from repro.core.matcher import match
+from repro.utils import bitops
+from tests.conftest import truth_tables
+
+
+@given(truth_tables(1, 6))
+def test_parseval(f):
+    spectrum = walsh_spectrum(f)
+    assert sum(v * v for v in spectrum) == 4 ** f.n
+
+
+@given(truth_tables(1, 6))
+def test_dc_coefficient_counts_onset(f):
+    assert walsh_spectrum(f)[0] == (1 << f.n) - 2 * f.count()
+
+
+@given(truth_tables(1, 6))
+def test_inverse_walsh_roundtrip(f):
+    assert inverse_walsh(walsh_spectrum(f)) == f
+
+
+def test_inverse_walsh_validation():
+    with pytest.raises(ValueError):
+        inverse_walsh([1, 1, 1])  # not a power of two
+    with pytest.raises(ValueError):
+        inverse_walsh([3, 1])  # not a ±1 spectrum
+
+
+@given(truth_tables(2, 6), st.data())
+def test_spectrum_transforms_covariantly(f, data):
+    n = f.n
+    perm = tuple(data.draw(st.permutations(range(n))))
+    neg = data.draw(st.integers(0, (1 << n) - 1))
+    out = data.draw(st.booleans())
+    g = NpnTransform(perm, neg, out).apply(f)
+    spec_f = walsh_spectrum(f)
+    spec_g = walsh_spectrum(g)
+    for w in range(1 << n):
+        # g reads f-var i from g-var perm[i]: mask w over g-vars maps to
+        # f-vars by pulling back through perm.
+        w_f = 0
+        sign = -1 if out else 1
+        for i in range(n):
+            if (w >> perm[i]) & 1:
+                w_f |= 1 << i
+                if (neg >> i) & 1:
+                    sign = -sign
+        assert spec_g[w] == sign * spec_f[w_f], (w, w_f)
+
+
+@given(truth_tables(2, 6), st.data())
+def test_bucketed_magnitudes_are_npn_invariant(f, data):
+    n = f.n
+    perm = tuple(data.draw(st.permutations(range(n))))
+    neg = data.draw(st.integers(0, (1 << n) - 1))
+    out = data.draw(st.booleans())
+    g = NpnTransform(perm, neg, out).apply(f)
+    assert spectrum_by_order(f) == spectrum_by_order(g)
+
+
+def test_first_order_is_balance():
+    f = TruthTable.parity(3)
+    assert first_order_coefficient(f, 0) == 0  # balanced variable
+    # R(e_i) = Σ (-1)^(f ⊕ x_i): maximal agreement for f = x_i itself.
+    g = TruthTable.var(3, 1)
+    assert first_order_coefficient(g, 1) == 1 << 3
+    assert first_order_coefficient(~g, 1) == -(1 << 3)
+
+
+@given(truth_tables(2, 5), st.data())
+def test_variable_keys_follow_correspondence(f, data):
+    n = f.n
+    perm = tuple(data.draw(st.permutations(range(n))))
+    g = NpnTransform(perm, data.draw(st.integers(0, (1 << n) - 1))).apply(f)
+    for i in range(n):
+        assert variable_spectral_key(f, i) == variable_spectral_key(g, perm[i])
+
+
+# ----------------------------------------------------------------------
+# Spectral matcher baseline
+# ----------------------------------------------------------------------
+
+@given(truth_tables(1, 5), st.data())
+def test_spectral_matcher_on_equivalents(f, data):
+    n = f.n
+    perm = tuple(data.draw(st.permutations(range(n))))
+    neg = data.draw(st.integers(0, (1 << n) - 1))
+    out = data.draw(st.booleans())
+    g = NpnTransform(perm, neg, out).apply(f)
+    t = spectral.match(f, g)
+    assert t is not None and t.apply(f) == g
+
+
+@given(truth_tables(1, 4), truth_tables(1, 4))
+def test_spectral_agrees_with_grm_matcher(f, g):
+    if f.n != g.n:
+        return
+    assert (spectral.match(f, g) is not None) == (match(f, g) is not None)
+
+
+def test_spectral_blowup_guard():
+    f = TruthTable.parity(10)
+    with pytest.raises(RuntimeError):
+        spectral.np_match(f, f, max_block_permutations=50)
