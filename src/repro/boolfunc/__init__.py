@@ -5,6 +5,7 @@ from repro.boolfunc.cube import Cube, esop_to_truthtable, sop_to_truthtable
 from repro.boolfunc.dsd import Dsd, DsdNode, decompose, shape_signature
 from repro.boolfunc.espresso import EspressoResult, espresso
 from repro.boolfunc.isop import isop, isop_cover
+from repro.boolfunc.random_gen import RandomLike, coerce_rng
 from repro.boolfunc.transform import (
     NpnTransform,
     all_transforms,
@@ -19,8 +20,10 @@ __all__ = [
     "Dsd",
     "DsdNode",
     "NpnTransform",
+    "RandomLike",
     "TruthTable",
     "all_transforms",
+    "coerce_rng",
     "decompose",
     "esop_to_truthtable",
     "espresso",

@@ -1,26 +1,62 @@
 """Seeded random-function workload generators.
 
-Every benchmark and property test draws its functions from here so that
-results are reproducible run-to-run.  Beyond uniformly random tables, the
-generators produce the structured families the experiments need: random
-SOPs (random-logic-like), functions with planted symmetries, and
-functions engineered to keep variables balanced (the matcher's hard
-case).
+Every benchmark, fuzz run and property test draws its functions from
+here so that results are reproducible run-to-run.  Beyond uniformly
+random tables, the generators produce the structured families the
+experiments need: random SOPs (random-logic-like), functions with
+planted symmetries, and functions engineered to keep variables balanced
+(the matcher's hard case).
+
+**Determinism guarantees.**  Every generator takes an explicit ``rng``
+argument — either a :class:`random.Random` instance or an integer seed
+(coerced via :func:`coerce_rng`) — and touches *no* global random
+state: the module-level :mod:`random` functions are never called, so
+two call sites with independent ``Random`` instances can interleave
+freely without perturbing each other.  For a fixed CPython-compatible
+Mersenne-Twister ``Random``, the same ``(arguments, seed)`` produces
+the same function on every run and platform; the draw sequence per
+generator is part of its behavioural contract, and changing it is a
+breaking change for recorded corpora and benchmarks.  Passing ``None``
+(or the :mod:`random` module itself) is a :class:`TypeError` — hidden
+global-state seeding is exactly what these guarantees forbid.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Tuple
+from typing import List, Tuple, Union
 
 from repro.boolfunc.cube import Cube, sop_to_truthtable
 from repro.boolfunc.ops import symmetric_function
 from repro.boolfunc.truthtable import TruthTable
 
+RandomLike = Union[random.Random, int]
+"""An explicit RNG: a ``random.Random`` instance or an integer seed."""
 
-def random_sop(n: int, n_cubes: int, rng: random.Random, literal_prob: float = 0.5) -> TruthTable:
+
+def coerce_rng(rng: RandomLike) -> random.Random:
+    """Normalize an explicit RNG argument to a ``random.Random`` instance.
+
+    Integer seeds get a fresh deterministic ``Random(seed)``; anything
+    else (``None``, the :mod:`random` module, ...) is rejected so no
+    caller can silently fall back to shared global state.
+    """
+    if isinstance(rng, random.Random):
+        return rng
+    if isinstance(rng, bool):
+        raise TypeError("rng must be a random.Random instance or an int seed")
+    if isinstance(rng, int):
+        return random.Random(rng)
+    raise TypeError(
+        f"rng must be a random.Random instance or an int seed, "
+        f"got {type(rng).__name__} — implicit global random state is not allowed"
+    )
+
+
+def random_sop(n: int, n_cubes: int, rng: RandomLike, literal_prob: float = 0.5) -> TruthTable:
     """OR of ``n_cubes`` random cubes; each variable enters a cube with
     probability ``literal_prob`` and then picks a random polarity."""
+    rng = coerce_rng(rng)
     cubes: List[Cube] = []
     for _ in range(n_cubes):
         pos = neg = 0
@@ -34,8 +70,9 @@ def random_sop(n: int, n_cubes: int, rng: random.Random, literal_prob: float = 0
     return sop_to_truthtable(n, cubes)
 
 
-def random_nondegenerate(n: int, rng: random.Random, max_tries: int = 64) -> TruthTable:
+def random_nondegenerate(n: int, rng: RandomLike, max_tries: int = 64) -> TruthTable:
     """A random function that depends on every one of its ``n`` variables."""
+    rng = coerce_rng(rng)
     for _ in range(max_tries):
         f = TruthTable.random(n, rng)
         if f.support() == (1 << n) - 1:
@@ -44,7 +81,7 @@ def random_nondegenerate(n: int, rng: random.Random, max_tries: int = 64) -> Tru
 
 
 def random_with_planted_symmetry(
-    n: int, pair: Tuple[int, int], kind: str, rng: random.Random
+    n: int, pair: Tuple[int, int], kind: str, rng: RandomLike
 ) -> TruthTable:
     """A random function with the requested symmetry planted on ``pair``.
 
@@ -53,6 +90,7 @@ def random_with_planted_symmetry(
     construction fixes the relation between the four two-variable
     cofactors and randomizes everything else.
     """
+    rng = coerce_rng(rng)
     i, j = pair
     if i == j:
         raise ValueError("symmetry pair must name two distinct variables")
@@ -86,7 +124,7 @@ def random_with_planted_symmetry(
     )
 
 
-def random_balanced_function(n: int, rng: random.Random, max_tries: int = 2000) -> TruthTable:
+def random_balanced_function(n: int, rng: RandomLike, max_tries: int = 2000) -> TruthTable:
     """A function in which *every* variable is balanced.
 
     This is the matcher's hard case (Sections 6.1-6.2): no M-pole exists
@@ -98,6 +136,7 @@ def random_balanced_function(n: int, rng: random.Random, max_tries: int = 2000) 
     every ``i``, so all cofactor weights agree.  Rejection keeps only
     functions depending on all variables.
     """
+    rng = coerce_rng(rng)
     if n < 1:
         raise ValueError("need at least one variable")
     full = (1 << n) - 1
@@ -115,17 +154,19 @@ def random_balanced_function(n: int, rng: random.Random, max_tries: int = 2000) 
     raise RuntimeError("could not construct an all-balanced function")
 
 
-def random_symmetric(n: int, rng: random.Random) -> TruthTable:
+def random_symmetric(n: int, rng: RandomLike) -> TruthTable:
     """A random totally symmetric function (non-constant)."""
+    rng = coerce_rng(rng)
     while True:
         vec = [rng.getrandbits(1) for _ in range(n + 1)]
         if any(vec) and not all(vec):
             return symmetric_function(n, vec)
 
 
-def random_unate_in(n: int, i: int, rng: random.Random) -> TruthTable:
+def random_unate_in(n: int, i: int, rng: RandomLike) -> TruthTable:
     """A random function positive-unate in ``x_i`` (so ``x_i`` is unbalanced
     unless the two cofactors coincide)."""
+    rng = coerce_rng(rng)
     c0 = TruthTable.random(n, rng).cofactor(i, 0)
     c1 = (c0 | TruthTable.random(n, rng)).cofactor(i, 0)
     xi = TruthTable.var(n, i)

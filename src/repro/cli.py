@@ -8,6 +8,7 @@ Subcommands::
     symmetries FILE            report variable symmetries per output
     minimize FILE              minimum-cube FPRM polarity per output
     map FILE                   AIG technology mapping onto the library
+    fuzz                       differential fuzzing against every baseline
     table1 [NAMES...]          run the paper's Table 1 experiment
     bench-info NAME            describe a built-in benchmark circuit
 
@@ -213,6 +214,46 @@ def cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.testing.fuzzer import FuzzConfig, run_fuzz, run_mutation_check
+
+    if args.self_check:
+        report = run_mutation_check(
+            mutant=args.mutant,
+            seed=args.seed,
+            iters=args.iters or 300,
+            budget_seconds=args.budget,
+            max_n=args.max_n,
+        )
+        caught = not report.ok
+        print(report.summary())
+        print(
+            f"mutation sanity check ({args.mutant}): "
+            f"{'CAUGHT' if caught else 'MISSED — the harness is blind!'}"
+        )
+        return 0 if caught else 1
+
+    try:
+        config = FuzzConfig(
+            seed=args.seed,
+            iters=args.iters,
+            budget_seconds=args.budget,
+            min_n=args.min_n,
+            max_n=args.max_n,
+            metamorphic=not args.no_metamorphic,
+            shrink=not args.no_shrink,
+            corpus_dir=args.corpus,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = run_fuzz(config)
+    print(report.summary())
+    if not report.ok and args.corpus:
+        print(f"witnesses written to {args.corpus}")
+    return 0 if report.ok else 1
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     names = args.names or circuit_names()
     print(f"{'test case':<10} {'#I':>4} {'#O':>4} {'#h':>4} {'time/output':>12}")
@@ -291,6 +332,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cut-size", type=int, default=4)
     p.add_argument("--verify", action="store_true")
     p.set_defaults(func=cmd_map)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of the matcher against every baseline",
+        description=(
+            "Drive the GRM matcher and the exhaustive/signature/spectral "
+            "baselines on the same seeded random pairs, verify every "
+            "returned transform, and flag any disagreement.  Failing pairs "
+            "are shrunk to minimal witnesses; --corpus persists them as "
+            "JSON for the regression suite."
+        ),
+    )
+    p.add_argument("--seed", type=int, default=0, help="RNG seed (default 0)")
+    p.add_argument("--iters", type=int, default=None, help="iteration count")
+    p.add_argument(
+        "--budget", type=float, default=None, help="wall-clock budget in seconds"
+    )
+    p.add_argument("--min-n", type=int, default=1, dest="min_n")
+    p.add_argument("--max-n", type=int, default=6, dest="max_n")
+    p.add_argument(
+        "--corpus", default=None, help="directory to write failing witnesses into"
+    )
+    p.add_argument("--no-metamorphic", action="store_true")
+    p.add_argument("--no-shrink", action="store_true")
+    p.add_argument(
+        "--self-check",
+        action="store_true",
+        help="mutation sanity check: inject a known matcher bug and "
+        "verify the harness catches it",
+    )
+    p.add_argument(
+        "--mutant",
+        choices=("drop-negated", "identity-witness", "ignore-output-phase"),
+        default="drop-negated",
+        help="which bug to inject with --self-check",
+    )
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("table1", help="run the paper's Table 1 experiment")
     p.add_argument("names", nargs="*", metavar="NAME")

@@ -1,0 +1,77 @@
+"""Correctness harness: oracle, differential fuzzer, metamorphic checks.
+
+This package is the safety net every refactor and performance PR runs
+against.  It has three layers plus a persistence format:
+
+* :mod:`repro.testing.oracle` — ground-truth npn-equivalence.  For
+  ``n <= 4`` the exhaustive transform enumeration decides any pair; for
+  larger ``n`` ground truth comes *by construction* (apply a known
+  random transform, or break a weight invariant that npn transforms
+  provably preserve).
+* :mod:`repro.testing.fuzzer` — a differential fuzzer that drives the
+  paper's matcher and all three baselines on the same pairs, verifies
+  every returned transform independently, and flags any disagreement.
+  Failing pairs are shrunk (:mod:`repro.testing.shrink`) to minimal
+  ``(n, bits)`` witnesses.
+* :mod:`repro.testing.metamorphic` — invariants the paper guarantees,
+  checked on random functions: reflexivity/symmetry of matching,
+  invariance under composed transforms, canonical-form agreement,
+  GRM round-trips, and symmetry/signature transform-covariance.
+* :mod:`repro.testing.corpus` — JSON witnesses of shrunk failures,
+  replayed by a parametrized tier-1 test (``tests/test_corpus.py``).
+
+Everything is seeded and deterministic: the same ``(seed, config)``
+reproduces the same pair sequence, discrepancies, and shrunk witnesses.
+"""
+
+from repro.testing.corpus import Witness, load_corpus, replay, save_witness
+from repro.testing.fuzzer import (
+    FuzzConfig,
+    FuzzReport,
+    MatcherSpec,
+    default_matchers,
+    mutant_matchers,
+    run_fuzz,
+    run_mutation_check,
+)
+from repro.testing.metamorphic import Violation, run_metamorphic
+from repro.testing.oracle import (
+    ORACLE_MAX_N,
+    OracleUndecidedError,
+    OraclePair,
+    equivalent_pair,
+    inequivalent_pair,
+    npn_weight_invariant,
+    oracle_decides,
+    oracle_equivalent,
+    random_pair,
+    weight_twin_pair,
+)
+from repro.testing.shrink import shrink_pair
+
+__all__ = [
+    "FuzzConfig",
+    "FuzzReport",
+    "MatcherSpec",
+    "ORACLE_MAX_N",
+    "OraclePair",
+    "OracleUndecidedError",
+    "Violation",
+    "Witness",
+    "default_matchers",
+    "equivalent_pair",
+    "inequivalent_pair",
+    "load_corpus",
+    "mutant_matchers",
+    "npn_weight_invariant",
+    "oracle_decides",
+    "oracle_equivalent",
+    "random_pair",
+    "replay",
+    "run_fuzz",
+    "run_metamorphic",
+    "run_mutation_check",
+    "save_witness",
+    "shrink_pair",
+    "weight_twin_pair",
+]

@@ -1,0 +1,149 @@
+"""The regression corpus: JSON witnesses of (shrunk) failing pairs.
+
+Every discrepancy the fuzzer ever finds is persisted as one small JSON
+file and replayed forever after by the parametrized tier-1 test
+``tests/test_corpus.py`` — the corpus only grows, so a fixed bug stays
+fixed.  The schema is versioned and human-editable::
+
+    {
+      "schema": 1,
+      "n": 3,
+      "f": "0x68",
+      "g": "0x16",
+      "expected": "equivalent",        // or "inequivalent" / "unknown"
+      "kind": "regression",            // or "differential" / "metamorphic"
+      "description": "why this pair is interesting",
+      "seed": 0
+    }
+
+Reproducing a failure by hand::
+
+    from repro.testing import corpus
+    w = corpus.load_corpus("tests/corpus")[0]
+    print(corpus.replay(w))            # [] when everything passes
+
+:func:`replay` re-runs the full differential + metamorphic battery on
+the pair: every applicable matcher must agree with the recorded verdict
+(and with the exhaustive oracle when ``n <= 4``), every returned
+transform must verify on the raw truth tables, and the metamorphic
+invariants must hold on both functions.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+from repro.boolfunc.truthtable import TruthTable
+from repro.testing import oracle as oracle_mod
+from repro.testing.metamorphic import run_metamorphic
+
+SCHEMA_VERSION = 1
+
+EXPECTED_VALUES = ("equivalent", "inequivalent", "unknown")
+
+
+@dataclass(frozen=True)
+class Witness:
+    """One corpus entry — a pair of functions plus the recorded verdict."""
+
+    n: int
+    f_bits: int
+    g_bits: int
+    expected: str = "unknown"
+    kind: str = "regression"
+    description: str = ""
+    seed: int = 0
+    schema: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.expected not in EXPECTED_VALUES:
+            raise ValueError(f"expected must be one of {EXPECTED_VALUES}")
+
+    @property
+    def f(self) -> TruthTable:
+        return TruthTable(self.n, self.f_bits)
+
+    @property
+    def g(self) -> TruthTable:
+        return TruthTable(self.n, self.g_bits)
+
+    def to_json(self) -> str:
+        payload = {
+            "schema": self.schema,
+            "n": self.n,
+            "f": hex(self.f_bits),
+            "g": hex(self.g_bits),
+            "expected": self.expected,
+            "kind": self.kind,
+            "description": self.description,
+            "seed": self.seed,
+        }
+        return json.dumps(payload, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "Witness":
+        data = json.loads(text)
+        if data.get("schema") != SCHEMA_VERSION:
+            raise ValueError(f"unsupported witness schema {data.get('schema')!r}")
+        return cls(
+            n=data["n"],
+            f_bits=int(data["f"], 16),
+            g_bits=int(data["g"], 16),
+            expected=data.get("expected", "unknown"),
+            kind=data.get("kind", "regression"),
+            description=data.get("description", ""),
+            seed=data.get("seed", 0),
+        )
+
+    def slug(self) -> str:
+        """A stable, content-derived file stem."""
+        return f"{self.kind}_n{self.n}_{self.f_bits:x}_{self.g_bits:x}"
+
+
+def save_witness(directory: str | Path, witness: Witness) -> Path:
+    """Write ``witness`` into ``directory`` (created if needed)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{witness.slug()}.json"
+    path.write_text(witness.to_json())
+    return path
+
+
+def load_corpus(directory: str | Path) -> List[Witness]:
+    """All witnesses under ``directory``, sorted by file name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [
+        Witness.from_json(path.read_text())
+        for path in sorted(directory.glob("*.json"))
+    ]
+
+
+def replay(witness: Witness, metamorphic: bool = True) -> List[str]:
+    """Re-run the full battery on a witness.  Returns failure strings."""
+    # Imported here to avoid a circular import at package load time.
+    from repro.testing.fuzzer import check_pair, default_matchers
+
+    f, g = witness.f, witness.g
+    expected: Optional[bool] = {
+        "equivalent": True,
+        "inequivalent": False,
+        "unknown": None,
+    }[witness.expected]
+    pair = oracle_mod.OraclePair(f, g, expected, f"corpus:{witness.kind}")
+    failures = [
+        f"{d.kind}: {d.detail}" for d in check_pair(pair, default_matchers())
+    ]
+    if metamorphic:
+        rng = random.Random(witness.seed)
+        for label, table in (("f", f), ("g", g)):
+            failures += [
+                f"metamorphic[{label}] {v.check}: {v.detail}"
+                for v in run_metamorphic(table, rng, transforms=1)
+            ]
+    return failures

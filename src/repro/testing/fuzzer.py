@@ -1,0 +1,396 @@
+"""Differential fuzzing of the matcher against every baseline.
+
+One fuzz iteration draws a function pair with known (or unknown) ground
+truth from :mod:`repro.testing.oracle`, runs every applicable matcher —
+the paper's GRM matcher, the exhaustive scan, the cofactor-signature
+baseline and the spectral baseline — and cross-checks:
+
+* every returned transform is re-verified on the raw truth tables
+  (**soundness**, independently of the matchers' own checks);
+* every verdict agrees with the constructed/oracle ground truth
+  (**correctness**);
+* all verdicts agree with each other (**differential** — catches bugs
+  even where no ground truth exists).
+
+Failures are shrunk to minimal witnesses (:mod:`repro.testing.shrink`)
+and serialized as corpus JSON (:mod:`repro.testing.corpus`).  Runs are
+fully deterministic per seed.
+
+The harness checks itself: :func:`run_mutation_check` injects a known
+bug into the matcher under test (see :data:`MUTANTS`) and asserts the
+fuzzer catches it — see DESIGN.md, "Mutation sanity check".
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines import exhaustive, signature_matcher, spectral
+from repro.boolfunc.transform import NpnTransform
+from repro.boolfunc.truthtable import TruthTable
+from repro.core import matcher as core_matcher
+from repro.testing import oracle as oracle_mod
+from repro.testing.corpus import Witness, save_witness
+from repro.testing.metamorphic import run_metamorphic
+from repro.testing.oracle import OraclePair
+from repro.testing.shrink import shrink_pair
+
+MatchFn = Callable[[TruthTable, TruthTable], Optional[NpnTransform]]
+
+
+@dataclass(frozen=True)
+class MatcherSpec:
+    """One matcher under differential test.
+
+    ``max_n`` bounds applicability (``None`` = any width); a matcher
+    raising ``RuntimeError`` (search-budget blowups in the baselines)
+    *abstains* — it neither agrees nor disagrees.
+    """
+
+    name: str
+    fn: MatchFn
+    max_n: Optional[int] = None
+
+    def applicable(self, n: int) -> bool:
+        return self.max_n is None or n <= self.max_n
+
+
+def default_matchers() -> List[MatcherSpec]:
+    """The paper's matcher plus all three baselines."""
+    return [
+        MatcherSpec("core", core_matcher.match),
+        MatcherSpec("exhaustive", exhaustive.match, max_n=oracle_mod.ORACLE_MAX_N),
+        MatcherSpec("signature", signature_matcher.match),
+        MatcherSpec("spectral", spectral.match),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Mutants (harness self-test)
+# ----------------------------------------------------------------------
+
+def _mutant_drop_negated(f: TruthTable, g: TruthTable) -> Optional[NpnTransform]:
+    """Bug: declares any pair needing input negation inequivalent."""
+    t = core_matcher.match(f, g)
+    if t is not None and t.input_neg:
+        return None
+    return t
+
+
+def _mutant_identity_witness(f: TruthTable, g: TruthTable) -> Optional[NpnTransform]:
+    """Bug: right verdict, bogus witness transform."""
+    t = core_matcher.match(f, g)
+    if t is None:
+        return None
+    return NpnTransform.identity(f.n)
+
+
+def _mutant_ignore_output_phase(f: TruthTable, g: TruthTable) -> Optional[NpnTransform]:
+    """Bug: silently matches without ever negating the output."""
+    return core_matcher.match(f, g, allow_output_neg=False)
+
+
+MUTANTS: Dict[str, MatchFn] = {
+    "drop-negated": _mutant_drop_negated,
+    "identity-witness": _mutant_identity_witness,
+    "ignore-output-phase": _mutant_ignore_output_phase,
+}
+
+
+def mutant_matchers(mutant: str) -> List[MatcherSpec]:
+    """The default matcher set with ``core`` replaced by a known-bad mutant."""
+    specs = [m for m in default_matchers() if m.name != "core"]
+    return [MatcherSpec(f"core[{mutant}]", MUTANTS[mutant])] + specs
+
+
+# ----------------------------------------------------------------------
+# Pair checking
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Discrepancy:
+    """One failed cross-check, with its (possibly shrunk) witness."""
+
+    kind: str
+    detail: str
+    witness: Witness
+    shrunk: bool = False
+
+
+def _run_one(
+    spec: MatcherSpec, f: TruthTable, g: TruthTable
+) -> Optional[object]:
+    """Returns an NpnTransform, None (= inequivalent) or 'abstain'."""
+    try:
+        return spec.fn(f, g)
+    except RuntimeError:
+        return "abstain"
+
+
+def _expected_str(verdict: Optional[bool]) -> str:
+    if verdict is None:
+        return "unknown"
+    return "equivalent" if verdict else "inequivalent"
+
+
+def check_pair(
+    pair: OraclePair, matchers: Sequence[MatcherSpec]
+) -> List[Discrepancy]:
+    """Run every applicable matcher on the pair and cross-check results."""
+    f, g = pair.f, pair.g
+    witness = Witness(
+        n=f.n,
+        f_bits=f.bits,
+        g_bits=g.bits,
+        expected=_expected_str(pair.verdict),
+        kind="differential",
+        description=f"generator={pair.generator}",
+    )
+    out: List[Discrepancy] = []
+    verdicts: Dict[str, bool] = {}
+    for spec in matchers:
+        if not spec.applicable(f.n):
+            continue
+        result = _run_one(spec, f, g)
+        if result == "abstain":
+            continue
+        if result is None:
+            verdicts[spec.name] = False
+            continue
+        verdicts[spec.name] = True
+        if result.apply(f) != g:
+            out.append(
+                Discrepancy(
+                    "unsound-witness",
+                    f"{spec.name} returned {result.describe()!r} which does "
+                    f"not map f onto g",
+                    witness,
+                )
+            )
+    truth = pair.verdict
+    if truth is None and oracle_mod.oracle_decides(f.n) and f.n == g.n:
+        truth = oracle_mod.oracle_equivalent(f, g)
+    if truth is not None:
+        for name, verdict in verdicts.items():
+            if verdict != truth:
+                out.append(
+                    Discrepancy(
+                        "ground-truth",
+                        f"{name} said {_expected_str(verdict)} but the pair is "
+                        f"{_expected_str(truth)} (generator {pair.generator})",
+                        witness,
+                    )
+                )
+    elif len(set(verdicts.values())) > 1:
+        split = ", ".join(
+            f"{name}={_expected_str(v)}" for name, v in sorted(verdicts.items())
+        )
+        out.append(Discrepancy("differential", f"matchers disagree: {split}", witness))
+    return out
+
+
+# ----------------------------------------------------------------------
+# The fuzz loop
+# ----------------------------------------------------------------------
+
+@dataclass
+class FuzzConfig:
+    """Everything a fuzz run needs; same config + seed = same run."""
+
+    seed: int = 0
+    iters: Optional[int] = None
+    budget_seconds: Optional[float] = None
+    min_n: int = 1
+    max_n: int = 6
+    matchers: Optional[List[MatcherSpec]] = None
+    metamorphic: bool = True
+    metamorphic_every: int = 25
+    shrink: bool = True
+    shrink_evals: int = 600
+    corpus_dir: Optional[str] = None
+    max_discrepancies: int = 20
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_n <= self.max_n:
+            raise ValueError(
+                f"need 1 <= min_n <= max_n, got min_n={self.min_n} max_n={self.max_n}"
+            )
+
+    def resolved_iters(self) -> Optional[int]:
+        if self.iters is None and self.budget_seconds is None:
+            return 1000
+        return self.iters
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz run."""
+
+    seed: int
+    iterations: int = 0
+    elapsed: float = 0.0
+    pair_counts: Dict[str, int] = field(default_factory=dict)
+    matcher_calls: Dict[str, int] = field(default_factory=dict)
+    metamorphic_runs: int = 0
+    discrepancies: List[Discrepancy] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.discrepancies
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz seed={self.seed}: {self.iterations} iterations in "
+            f"{self.elapsed:.1f}s, {self.metamorphic_runs} metamorphic runs",
+            "pairs: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.pair_counts.items())),
+            "matcher calls: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.matcher_calls.items())),
+        ]
+        if self.ok:
+            lines.append("no discrepancies")
+        else:
+            lines.append(f"{len(self.discrepancies)} DISCREPANCIES:")
+            for d in self.discrepancies:
+                w = d.witness
+                lines.append(
+                    f"  [{d.kind}] n={w.n} f=0x{w.f_bits:x} g=0x{w.g_bits:x}"
+                    f"{' (shrunk)' if d.shrunk else ''}: {d.detail}"
+                )
+        return "\n".join(lines)
+
+
+_GENERATOR_WEIGHTS = (
+    ("equivalent", 35),
+    ("inequivalent", 20),
+    ("weight-twin", 25),
+    ("random", 20),
+)
+
+
+def _draw_pair(rng: random.Random, config: FuzzConfig) -> OraclePair:
+    ns = list(range(config.min_n, config.max_n + 1))
+    weights = [2 if n <= oracle_mod.ORACLE_MAX_N else 1 for n in ns]
+    n = rng.choices(ns, weights=weights)[0]
+    name = rng.choices(
+        [g for g, _ in _GENERATOR_WEIGHTS], weights=[w for _, w in _GENERATOR_WEIGHTS]
+    )[0]
+    return oracle_mod.PAIR_GENERATORS[name](n, rng)
+
+
+def _shrink_discrepancy(
+    d: Discrepancy, matchers: Sequence[MatcherSpec], evals: int
+) -> Discrepancy:
+    """Minimize the witness while *some* discrepancy keeps reproducing."""
+
+    def predicate(n: int, f_bits: int, g_bits: int) -> bool:
+        f, g = TruthTable(n, f_bits), TruthTable(n, g_bits)
+        verdict = (
+            oracle_mod.oracle_equivalent(f, g)
+            if oracle_mod.oracle_decides(n)
+            else None
+        )
+        probe = OraclePair(f, g, verdict, "shrink")
+        return bool(check_pair(probe, matchers))
+
+    n, f_bits, g_bits = shrink_pair(
+        d.witness.n, d.witness.f_bits, d.witness.g_bits, predicate, max_evals=evals
+    )
+    if (n, f_bits, g_bits) == (d.witness.n, d.witness.f_bits, d.witness.g_bits):
+        return d
+    f, g = TruthTable(n, f_bits), TruthTable(n, g_bits)
+    expected = (
+        _expected_str(oracle_mod.oracle_equivalent(f, g))
+        if oracle_mod.oracle_decides(n)
+        else "unknown"
+    )
+    shrunk = Witness(
+        n=n,
+        f_bits=f_bits,
+        g_bits=g_bits,
+        expected=expected,
+        kind=d.witness.kind,
+        description=f"shrunk from n={d.witness.n} "
+        f"f=0x{d.witness.f_bits:x} g=0x{d.witness.g_bits:x}; {d.witness.description}",
+        seed=d.witness.seed,
+    )
+    return Discrepancy(d.kind, d.detail, shrunk, shrunk=True)
+
+
+def run_fuzz(config: FuzzConfig) -> FuzzReport:
+    """Run the differential fuzz loop described in the module docstring."""
+    rng = random.Random(config.seed)
+    matchers = config.matchers if config.matchers is not None else default_matchers()
+    report = FuzzReport(seed=config.seed)
+    iters = config.resolved_iters()
+    start = time.monotonic()
+    while True:
+        if iters is not None and report.iterations >= iters:
+            break
+        elapsed = time.monotonic() - start
+        if config.budget_seconds is not None and elapsed >= config.budget_seconds:
+            break
+        if len(report.discrepancies) >= config.max_discrepancies:
+            break
+        pair = _draw_pair(rng, config)
+        report.iterations += 1
+        report.pair_counts[pair.generator] = (
+            report.pair_counts.get(pair.generator, 0) + 1
+        )
+        for spec in matchers:
+            if spec.applicable(pair.f.n):
+                report.matcher_calls[spec.name] = (
+                    report.matcher_calls.get(spec.name, 0) + 1
+                )
+        found = check_pair(pair, matchers)
+        if config.metamorphic and report.iterations % config.metamorphic_every == 0:
+            report.metamorphic_runs += 1
+            meta_witness = Witness(
+                n=pair.f.n,
+                f_bits=pair.f.bits,
+                g_bits=pair.f.bits,
+                expected="equivalent",
+                kind="metamorphic",
+                description=f"generator={pair.generator}",
+                seed=config.seed,
+            )
+            found += [
+                Discrepancy("metamorphic", f"{v.check}: {v.detail}", meta_witness)
+                for v in run_metamorphic(pair.f, rng, transforms=1)
+            ]
+        for d in found:
+            if config.shrink and d.kind != "metamorphic":
+                d = _shrink_discrepancy(d, matchers, config.shrink_evals)
+            report.discrepancies.append(d)
+            if config.corpus_dir:
+                save_witness(config.corpus_dir, d.witness)
+    report.elapsed = time.monotonic() - start
+    return report
+
+
+def run_mutation_check(
+    mutant: str = "drop-negated",
+    seed: int = 0,
+    iters: int = 300,
+    budget_seconds: Optional[float] = None,
+    max_n: int = 6,
+) -> FuzzReport:
+    """Self-test: inject a known matcher bug and fuzz until it is caught.
+
+    A healthy harness reports at least one discrepancy; the caller
+    asserts ``not report.ok``.
+    """
+    config = FuzzConfig(
+        seed=seed,
+        iters=iters,
+        budget_seconds=budget_seconds,
+        max_n=max_n,
+        matchers=mutant_matchers(mutant),
+        metamorphic=False,
+        shrink=True,
+        max_discrepancies=3,
+    )
+    return run_fuzz(config)

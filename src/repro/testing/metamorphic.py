@@ -1,0 +1,265 @@
+"""Metamorphic invariants the paper guarantees, checked on live code.
+
+Each check takes concrete functions/transforms and returns a list of
+:class:`Violation` records (empty = all good).  :func:`run_metamorphic`
+bundles them with seeded random transforms so the fuzzer and the test
+suite exercise the same properties:
+
+* **reflexive / symmetric** — ``match(f, f)`` always succeeds;
+  ``match(f, g)`` succeeds iff ``match(g, f)`` does, and both witnesses
+  verify on the truth tables.
+* **composition invariance** — if ``g = t.apply(f)`` then matching
+  survives composing any further P1/P2/P3 transform onto ``g``.
+* **canonical agreement** — npn-equivalent functions produce identical
+  :func:`~repro.core.canonical.canonical_form` tables, and the reported
+  canonicalizing transform verifies.
+* **GRM round-trip** — ``Grm.from_truthtable(f, V).to_truthtable() == f``
+  for every polarity vector ``V`` (Section 3.1: the form is canonical
+  and lossless).
+* **symmetry covariance** — the four two-variable symmetry types move
+  with the transform: pair ``(i, j)`` of ``f`` appears at
+  ``(perm[i], perm[j])`` of ``g``; negating exactly one of the two
+  inputs swaps NE <-> E and skew-NE <-> skew-E; output negation fixes
+  all four.
+* **signature covariance** — the np-invariant cofactor weight pair of
+  Theorem 3 moves with the transform (complemented outputs reflect the
+  pair through ``2**(n-1)``).
+* **neutral phases** — neutral functions (``|f| = 2**(n-1)``) must try
+  both output phases (Theorem 2 edge case), non-neutral exactly one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.boolfunc.transform import NpnTransform
+from repro.boolfunc.truthtable import TruthTable
+from repro.core import symmetry as sym_mod
+from repro.core.canonical import canonical_form
+from repro.core.matcher import match
+from repro.core.polarity import phase_candidates
+from repro.core.signatures import weight_pair
+from repro.grm.forms import Grm
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant: which check, and what went wrong."""
+
+    check: str
+    detail: str
+
+
+def _verified(t: Optional[NpnTransform], f: TruthTable, g: TruthTable) -> bool:
+    return t is not None and t.apply(f) == g
+
+
+# ----------------------------------------------------------------------
+# Individual checks
+# ----------------------------------------------------------------------
+
+def check_reflexive(f: TruthTable) -> List[Violation]:
+    t = match(f, f)
+    if not _verified(t, f, f):
+        return [Violation("reflexive", f"match(f, f) failed for {f!r}")]
+    return []
+
+
+def check_symmetric(f: TruthTable, g: TruthTable) -> List[Violation]:
+    out: List[Violation] = []
+    t_fg = match(f, g)
+    t_gf = match(g, f)
+    if (t_fg is None) != (t_gf is None):
+        out.append(
+            Violation(
+                "symmetric",
+                f"match(f, g) {'found' if t_fg else 'missed'} but match(g, f) "
+                f"{'found' if t_gf else 'missed'} for {f!r}, {g!r}",
+            )
+        )
+    if t_fg is not None and not _verified(t_fg, f, g):
+        out.append(Violation("symmetric", f"unsound witness f->g for {f!r}, {g!r}"))
+    if t_gf is not None and not _verified(t_gf, g, f):
+        out.append(Violation("symmetric", f"unsound witness g->f for {f!r}, {g!r}"))
+    return out
+
+
+def check_composition(
+    f: TruthTable, t: NpnTransform, extra: NpnTransform
+) -> List[Violation]:
+    g = extra.apply(t.apply(f))
+    found = match(f, g)
+    if not _verified(found, f, g):
+        return [
+            Violation(
+                "composition",
+                f"lost equivalence after composing {extra.describe()!r} "
+                f"onto {t.describe()!r} for {f!r}",
+            )
+        ]
+    return []
+
+
+def check_canonical(f: TruthTable, t: NpnTransform) -> List[Violation]:
+    out: List[Violation] = []
+    g = t.apply(f)
+    canon_f, tf = canonical_form(f)
+    canon_g, tg = canonical_form(g)
+    if canon_f != canon_g:
+        out.append(
+            Violation(
+                "canonical",
+                f"equivalent functions canonicalize differently: {f!r} -> "
+                f"0x{canon_f.bits:x}, {g!r} -> 0x{canon_g.bits:x}",
+            )
+        )
+    if tf.apply(f) != canon_f:
+        out.append(Violation("canonical", f"canonicalizing transform unsound for {f!r}"))
+    if tg.apply(g) != canon_g:
+        out.append(Violation("canonical", f"canonicalizing transform unsound for {g!r}"))
+    return out
+
+
+def check_grm_roundtrip(
+    f: TruthTable, polarities: Optional[Sequence[int]] = None
+) -> List[Violation]:
+    if polarities is None:
+        polarities = range(1 << f.n) if f.n <= 4 else (0, (1 << f.n) - 1)
+    out: List[Violation] = []
+    for pol in polarities:
+        back = Grm.from_truthtable(f, pol).to_truthtable()
+        if back != f:
+            out.append(
+                Violation(
+                    "grm-roundtrip",
+                    f"polarity 0b{pol:0{f.n}b} round-trip corrupted {f!r}",
+                )
+            )
+    return out
+
+
+_SWAP = {
+    sym_mod.NE: sym_mod.E,
+    sym_mod.E: sym_mod.NE,
+    sym_mod.SKEW_NE: sym_mod.SKEW_E,
+    sym_mod.SKEW_E: sym_mod.SKEW_NE,
+}
+
+
+def expected_symmetries_after(
+    pairs: Dict, t: NpnTransform
+) -> Dict:
+    """Map a ``(i, j) -> types`` table through ``t`` (see module docstring)."""
+    expected: Dict = {}
+    for (i, j), kinds in pairs.items():
+        a, b = t.perm[i], t.perm[j]
+        key = (a, b) if a < b else (b, a)
+        flip = ((t.input_neg >> i) & 1) ^ ((t.input_neg >> j) & 1)
+        expected[key] = frozenset(_SWAP[k] for k in kinds) if flip else kinds
+    return expected
+
+
+def check_symmetry_covariance(f: TruthTable, t: NpnTransform) -> List[Violation]:
+    if f.n < 2:
+        return []
+    g = t.apply(f)
+    pairs_f = {
+        (i, j): sym_mod.pair_symmetries(f, i, j)
+        for i in range(f.n)
+        for j in range(i + 1, f.n)
+    }
+    pairs_g = {
+        (i, j): sym_mod.pair_symmetries(g, i, j)
+        for i in range(g.n)
+        for j in range(i + 1, g.n)
+    }
+    expected = expected_symmetries_after(pairs_f, t)
+    out: List[Violation] = []
+    for key, kinds in expected.items():
+        if pairs_g[key] != kinds:
+            out.append(
+                Violation(
+                    "symmetry-covariance",
+                    f"pair {key} of {g!r}: expected {sorted(kinds)}, "
+                    f"got {sorted(pairs_g[key])} (transform {t.describe()!r})",
+                )
+            )
+    return out
+
+
+def check_signature_covariance(f: TruthTable, t: NpnTransform) -> List[Violation]:
+    g = t.apply(f)
+    half = 1 << (f.n - 1) if f.n else 0
+    out: List[Violation] = []
+    for i in range(f.n):
+        lo, hi = weight_pair(f, i)
+        expected = (half - hi, half - lo) if t.output_neg else (lo, hi)
+        got = weight_pair(g, t.perm[i])
+        if got != expected:
+            out.append(
+                Violation(
+                    "signature-covariance",
+                    f"weight pair of x{i} did not track transform "
+                    f"{t.describe()!r}: expected {expected}, got {got}",
+                )
+            )
+    return out
+
+
+def check_neutral_phases(f: TruthTable) -> List[Violation]:
+    cands = phase_candidates(f)
+    if f.is_neutral():
+        ok = len(cands) == 2 and {neg for _, neg in cands} == {False, True}
+        if not ok:
+            return [
+                Violation(
+                    "neutral-phases",
+                    f"neutral {f!r} must offer both output phases, got {cands!r}",
+                )
+            ]
+    else:
+        if len(cands) != 1:
+            return [
+                Violation(
+                    "neutral-phases",
+                    f"non-neutral {f!r} must offer one phase, got {cands!r}",
+                )
+            ]
+        norm, _ = cands[0]
+        if norm.count() > (1 << f.n) // 2:
+            return [
+                Violation("neutral-phases", f"phase normalization kept heavy {f!r}")
+            ]
+    return []
+
+
+# ----------------------------------------------------------------------
+# Bundle
+# ----------------------------------------------------------------------
+
+CheckFn = Callable[[TruthTable, random.Random], List[Violation]]
+
+
+def run_metamorphic(
+    f: TruthTable,
+    rng: random.Random,
+    transforms: int = 2,
+) -> List[Violation]:
+    """Run every metamorphic check on ``f`` with seeded random transforms."""
+    out: List[Violation] = []
+    out += check_reflexive(f)
+    out += check_neutral_phases(f)
+    out += check_grm_roundtrip(
+        f,
+        polarities=[rng.getrandbits(f.n) for _ in range(4)] if f.n else [0],
+    )
+    for _ in range(transforms):
+        t = NpnTransform.random(f.n, rng)
+        out += check_symmetric(f, t.apply(f))
+        out += check_composition(f, t, NpnTransform.random(f.n, rng))
+        out += check_canonical(f, t)
+        out += check_symmetry_covariance(f, t)
+        out += check_signature_covariance(f, t)
+    return out

@@ -1,0 +1,222 @@
+"""Ground-truth npn-equivalence, independent of the matcher under test.
+
+Two regimes:
+
+* ``n <= ORACLE_MAX_N`` — the exhaustive baseline decides *any* pair by
+  scanning the whole transformation group (``n! * 2**(n+1)`` elements).
+  Canonical tables are memoized so repeated queries over the same
+  functions are cheap.
+* any ``n`` — ground truth **by construction**:
+
+  - :func:`equivalent_pair` applies a known random
+    :class:`~repro.boolfunc.transform.NpnTransform` to a random base
+    function, so the pair is npn-equivalent with a recorded witness;
+  - :func:`inequivalent_pair` flips exactly one output bit of such a
+    transformed copy.  A single flip changes the on-set weight by one,
+    and the npn weight invariant ``min(|f|, 2**n - |f|)`` (input
+    permutation/negation preserve ``|f|``; output negation maps it to
+    ``2**n - |f|``) can never survive a shift of one, so the pair is
+    provably inequivalent for every ``n``.
+
+The pair generators are the fuzzer's workload; each returns an
+:class:`OraclePair` carrying the verdict (``True`` / ``False`` /
+``None`` for "differential only").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, Optional
+
+from repro.baselines import exhaustive
+from repro.boolfunc import random_gen
+from repro.boolfunc.transform import NpnTransform
+from repro.boolfunc.truthtable import TruthTable
+
+ORACLE_MAX_N = 4
+"""Largest ``n`` for which the exhaustive oracle decides arbitrary pairs."""
+
+
+class OracleUndecidedError(RuntimeError):
+    """Raised when an arbitrary pair is queried beyond ``ORACLE_MAX_N``."""
+
+
+def npn_weight_invariant(f: TruthTable) -> int:
+    """``min(|f|, 2**n - |f|)`` — preserved by every npn transform."""
+    count = f.count()
+    return min(count, (1 << f.n) - count)
+
+
+def oracle_decides(n: int) -> bool:
+    """True when the exhaustive oracle can decide arbitrary ``n``-var pairs."""
+    return n <= ORACLE_MAX_N
+
+
+@lru_cache(maxsize=200_000)
+def _canonical_bits(n: int, bits: int, allow_output_neg: bool) -> int:
+    canon, _ = exhaustive.canonicalize(
+        TruthTable(n, bits), include_output_neg=allow_output_neg
+    )
+    return canon.bits
+
+
+def oracle_equivalent(
+    f: TruthTable, g: TruthTable, allow_output_neg: bool = True
+) -> bool:
+    """Decide npn- (or np-) equivalence exactly, for ``n <= ORACLE_MAX_N``."""
+    if f.n != g.n:
+        return False
+    if not oracle_decides(f.n):
+        raise OracleUndecidedError(
+            f"exhaustive oracle only decides n <= {ORACLE_MAX_N}, got n={f.n}"
+        )
+    return _canonical_bits(f.n, f.bits, allow_output_neg) == _canonical_bits(
+        g.n, g.bits, allow_output_neg
+    )
+
+
+# ----------------------------------------------------------------------
+# Base-function families
+# ----------------------------------------------------------------------
+
+def _base_uniform(n: int, rng: random.Random) -> TruthTable:
+    return TruthTable.random(n, rng)
+
+
+def _base_sop(n: int, rng: random.Random) -> TruthTable:
+    return random_gen.random_sop(n, max(1, n), rng)
+
+
+def _base_balanced(n: int, rng: random.Random) -> TruthTable:
+    if n < 1:
+        return TruthTable.random(n, rng)
+    try:
+        return random_gen.random_balanced_function(n, rng)
+    except RuntimeError:
+        return TruthTable.random(n, rng)
+
+
+def _base_symmetric(n: int, rng: random.Random) -> TruthTable:
+    if n < 1:
+        return TruthTable.random(n, rng)
+    return random_gen.random_symmetric(n, rng)
+
+
+def _base_planted_symmetry(n: int, rng: random.Random) -> TruthTable:
+    if n < 2:
+        return TruthTable.random(n, rng)
+    i, j = rng.sample(range(n), 2)
+    kind = rng.choice(("NE", "E", "skew-NE", "skew-E"))
+    return random_gen.random_with_planted_symmetry(n, (i, j), kind, rng)
+
+
+def _base_parity_masked(n: int, rng: random.Random) -> TruthTable:
+    # Parity XOR a sparse perturbation: heavily balanced, the matcher's
+    # hard-variable machinery gets exercised without being degenerate.
+    f = TruthTable.parity(n)
+    for _ in range(rng.randrange(3)):
+        f = f ^ TruthTable.from_minterms(n, [rng.randrange(1 << n)])
+    return f
+
+
+BASE_FAMILIES: Dict[str, Callable[[int, random.Random], TruthTable]] = {
+    "uniform": _base_uniform,
+    "sop": _base_sop,
+    "balanced": _base_balanced,
+    "symmetric": _base_symmetric,
+    "planted-symmetry": _base_planted_symmetry,
+    "parity": _base_parity_masked,
+}
+
+
+def random_base_function(n: int, rng: random.Random) -> TruthTable:
+    """Draw from a weighted mix of the base families."""
+    name = rng.choice(
+        ("uniform", "uniform", "uniform", "sop", "balanced",
+         "symmetric", "planted-symmetry", "parity")
+    )
+    return BASE_FAMILIES[name](n, rng)
+
+
+# ----------------------------------------------------------------------
+# Ground-truth pair generators
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class OraclePair:
+    """A fuzz input: two functions and what is known about them.
+
+    ``verdict`` is ``True`` (equivalent), ``False`` (inequivalent) or
+    ``None`` (unknown — the pair is only useful differentially).
+    ``transform`` is a witnessing transform when equivalence was planted.
+    """
+
+    f: TruthTable
+    g: TruthTable
+    verdict: Optional[bool]
+    generator: str
+    transform: Optional[NpnTransform] = None
+
+
+def equivalent_pair(
+    n: int, rng: random.Random, allow_output_neg: bool = True
+) -> OraclePair:
+    """``g = t.apply(f)`` for a known random ``t`` — equivalent for free."""
+    f = random_base_function(n, rng)
+    t = NpnTransform.random(n, rng, allow_output_neg=allow_output_neg)
+    return OraclePair(f, t.apply(f), True, "equivalent", t)
+
+
+def inequivalent_pair(n: int, rng: random.Random) -> OraclePair:
+    """A transformed copy with one output bit flipped — provably inequivalent.
+
+    The flip moves ``|g|`` by exactly one, which no npn transform can do
+    (see the weight-invariant argument in the module docstring), yet the
+    pair agrees on every other minterm — a strong near-miss negative.
+    """
+    if n == 0:
+        return OraclePair(TruthTable(0, 0), TruthTable(0, 1), None, "inequivalent")
+    f = random_base_function(n, rng)
+    t = NpnTransform.random(n, rng)
+    g = t.apply(f) ^ TruthTable.from_minterms(n, [rng.randrange(1 << n)])
+    assert npn_weight_invariant(f) != npn_weight_invariant(g)
+    return OraclePair(f, g, False, "inequivalent")
+
+
+def weight_twin_pair(n: int, rng: random.Random) -> OraclePair:
+    """A transformed copy with one on-bit and one off-bit swapped.
+
+    The on-set weight is preserved, so the cheap weight gates pass and
+    the deep matcher paths are exercised.  Ground truth comes from the
+    exhaustive oracle when available, else the pair is differential-only
+    (the double flip *can* land back in the same npn class).
+    """
+    f = random_base_function(n, rng)
+    t = NpnTransform.random(n, rng)
+    g = t.apply(f)
+    if n == 0 or g.is_constant():
+        verdict = oracle_equivalent(f, g) if oracle_decides(n) else True
+        return OraclePair(f, g, verdict, "weight-twin", t)
+    on = list(g.minterms())
+    off = [m for m in range(1 << n) if not g.evaluate(m)]
+    g = g ^ TruthTable.from_minterms(n, [rng.choice(on), rng.choice(off)])
+    verdict = oracle_equivalent(f, g) if oracle_decides(n) else None
+    return OraclePair(f, g, verdict, "weight-twin")
+
+
+def random_pair(n: int, rng: random.Random) -> OraclePair:
+    """Two independent uniform functions; oracle verdict when available."""
+    f = TruthTable.random(n, rng)
+    g = TruthTable.random(n, rng)
+    verdict = oracle_equivalent(f, g) if oracle_decides(n) else None
+    return OraclePair(f, g, verdict, "random")
+
+
+PAIR_GENERATORS = {
+    "equivalent": equivalent_pair,
+    "inequivalent": inequivalent_pair,
+    "weight-twin": weight_twin_pair,
+    "random": random_pair,
+}

@@ -1,0 +1,122 @@
+"""Shrink a failing function pair to a minimal ``(n, bits)`` witness.
+
+Given a predicate that re-runs the failing check on a candidate pair,
+the shrinker greedily applies two reduction families until a fixpoint
+(or an evaluation budget) is reached:
+
+1. **Variable elimination** — cofactor *both* functions on the same
+   ``(variable, value)`` and project the freed axis away, dropping to
+   ``n - 1`` variables.  A discrepancy that survives cofactoring is
+   strictly easier to debug.
+2. **Bit minimization** — a ddmin-style pass that tries to clear runs
+   of on-set bits (largest chunks first) in either table, preferring
+   witnesses with tiny on-sets.
+
+Everything is deterministic: same input pair + same predicate behaviour
+gives the same shrunk witness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from repro.utils import bitops
+
+Predicate = Callable[[int, int, int], bool]
+"""``predicate(n, f_bits, g_bits)`` — True when the failure still occurs."""
+
+
+class _Budget:
+    def __init__(self, max_evals: int, predicate: Predicate):
+        self.remaining = max_evals
+        self.predicate = predicate
+
+    def check(self, n: int, f_bits: int, g_bits: int) -> bool:
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        try:
+            return bool(self.predicate(n, f_bits, g_bits))
+        except Exception:
+            # A shrink candidate that crashes the checker is not a
+            # faithful reproduction of the original failure.
+            return False
+
+
+def _drop_variable(bits: int, n: int, var: int, value: int) -> int:
+    restricted = bitops.restrict(bits, n, var, value)
+    keep = [i for i in range(n) if i != var]
+    return bitops.project_table(restricted, n, keep)
+
+
+def _try_eliminate_variable(
+    n: int, f_bits: int, g_bits: int, budget: _Budget
+) -> Tuple[int, int, int, bool]:
+    for var in range(n):
+        for value in (0, 1):
+            nf = _drop_variable(f_bits, n, var, value)
+            ng = _drop_variable(g_bits, n, var, value)
+            if budget.check(n - 1, nf, ng):
+                return n - 1, nf, ng, True
+    return n, f_bits, g_bits, False
+
+
+def _try_clear_bits(
+    n: int, f_bits: int, g_bits: int, which: int, budget: _Budget
+) -> Tuple[int, int, bool]:
+    """One ddmin sweep over the on-bits of table ``which`` (0 = f, 1 = g)."""
+    target = g_bits if which else f_bits
+    other = f_bits if which else g_bits
+    progressed = False
+    chunk = max(1, bitops.popcount(target) // 2)
+    while chunk >= 1:
+        ones = bitops.bits_of(target)
+        idx = 0
+        while idx < len(ones):
+            mask = 0
+            for b in ones[idx : idx + chunk]:
+                mask |= 1 << b
+            candidate = target & ~mask
+            pair = (other, candidate) if which else (candidate, other)
+            if budget.check(n, pair[0], pair[1]):
+                target = candidate
+                ones = bitops.bits_of(target)
+                progressed = True
+                # stay at the same idx: the list shrank under us
+            else:
+                idx += chunk
+        chunk //= 2
+    if which:
+        return f_bits, target, progressed
+    return target, g_bits, progressed
+
+
+def shrink_pair(
+    n: int,
+    f_bits: int,
+    g_bits: int,
+    predicate: Predicate,
+    max_evals: int = 2000,
+) -> Tuple[int, int, int]:
+    """Minimize a failing pair.  Returns the shrunk ``(n, f_bits, g_bits)``.
+
+    The original pair is returned unchanged if the predicate does not
+    hold on it (nothing to shrink) or the budget is exhausted
+    immediately.
+    """
+    budget = _Budget(max_evals, predicate)
+    if not budget.check(n, f_bits, g_bits):
+        return n, f_bits, g_bits
+    while True:
+        changed = False
+        while n > 0:
+            n, f_bits, g_bits, ok = _try_eliminate_variable(n, f_bits, g_bits, budget)
+            if not ok:
+                break
+            changed = True
+        f_bits, g_bits, ok = _try_clear_bits(n, f_bits, g_bits, 0, budget)
+        changed = changed or ok
+        f_bits, g_bits, ok = _try_clear_bits(n, f_bits, g_bits, 1, budget)
+        changed = changed or ok
+        if not changed or budget.remaining <= 0:
+            return n, f_bits, g_bits

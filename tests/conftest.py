@@ -18,6 +18,33 @@ settings.register_profile(
 settings.load_profile("repro")
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked slow (exhaustive NPN-class enumerations)",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "slow: exhaustive-enumeration test excluded from tier-1; run with --runslow",
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list  # type: ignore[type-arg]
+) -> None:
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow exhaustive test; use --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
 @pytest.fixture
 def rng() -> random.Random:
     """A deterministic RNG, fresh per test."""

@@ -2,6 +2,7 @@
 
 import random
 
+import pytest
 from hypothesis import given, strategies as st
 
 from repro.baselines import exhaustive
@@ -41,6 +42,7 @@ def test_class_counts_small_n():
     assert npn_class_count(3) == 14
 
 
+@pytest.mark.slow
 def test_n4_classes_sampled_against_exhaustive(rng):
     """Spot-check n=4 (full 222-class run lives in the benchmark)."""
     sample = [TruthTable(4, rng.getrandbits(16)) for _ in range(120)]

@@ -1,0 +1,28 @@
+"""Replay the regression corpus (tier-1).
+
+Every JSON file under ``tests/corpus/`` is a witness — a pair that once
+exposed a discrepancy, or a hand-curated hard case.  Each is replayed
+through the full differential + metamorphic battery; see
+``repro/testing/corpus.py`` for the schema and the reproduction recipe.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.testing import corpus
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+WITNESSES = corpus.load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_present():
+    assert len(WITNESSES) >= 5, "the seed corpus must not be lost"
+
+
+@pytest.mark.parametrize(
+    "witness", WITNESSES, ids=[w.slug() for w in WITNESSES]
+)
+def test_corpus_witness_replays_clean(witness):
+    failures = corpus.replay(witness)
+    assert failures == [], "\n".join(failures)

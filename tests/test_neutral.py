@@ -1,0 +1,77 @@
+"""Property tests for neutral functions (``|f| = 2**(n-1)``).
+
+Theorem 2's edge case: complementing the output of a neutral function
+yields another neutral function, so output-phase normalization cannot
+pick a side by weight — both phases must be tried, and matching across
+an output complement must still succeed with a verifying transform.
+"""
+
+import random
+
+import pytest
+
+from repro.boolfunc.transform import NpnTransform
+from repro.boolfunc.truthtable import TruthTable
+from repro.core.matcher import match
+from repro.core.polarity import phase_candidates
+
+
+def random_neutral(n: int, rng: random.Random) -> TruthTable:
+    """A uniformly random function with exactly half the minterms on."""
+    on = rng.sample(range(1 << n), (1 << n) // 2)
+    return TruthTable.from_minterms(n, on)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+def test_neutral_functions_try_both_output_phases(n, rng):
+    for _ in range(10):
+        f = random_neutral(n, rng)
+        assert f.is_neutral()
+        cands = phase_candidates(f)
+        assert len(cands) == 2
+        assert [neg for _, neg in cands] == [False, True]
+        assert cands[0][0] == f and cands[1][0] == ~f
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5])
+def test_neutral_match_recovers_verifying_transform(n, rng):
+    for _ in range(8):
+        f = random_neutral(n, rng)
+        t = NpnTransform.random(n, rng)
+        g = t.apply(f)
+        found = match(f, g)
+        assert found is not None and found.apply(f) == g
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5])
+def test_neutral_match_across_output_complement(n, rng):
+    # f and ~f are npn-equivalent through output negation alone; only the
+    # both-phases rule lets the matcher see it.
+    for _ in range(8):
+        f = random_neutral(n, rng)
+        found = match(f, ~f)
+        assert found is not None and found.apply(f) == ~f
+
+
+def test_non_neutral_functions_get_one_phase(rng):
+    for _ in range(20):
+        n = rng.randint(1, 5)
+        f = TruthTable.random(n, rng)
+        if f.is_neutral():
+            continue
+        cands = phase_candidates(f)
+        assert len(cands) == 1
+        normalized, negated = cands[0]
+        assert normalized.count() < (1 << n) // 2
+        assert normalized == (~f if negated else f)
+
+
+def test_parity_is_the_canonical_neutral_hard_case(rng):
+    # Parity: neutral *and* every variable balanced — both edge paths at once.
+    for n in (3, 4, 5):
+        f = TruthTable.parity(n)
+        assert f.is_neutral()
+        t = NpnTransform.random(n, rng)
+        g = ~t.apply(f)
+        found = match(f, g)
+        assert found is not None and found.apply(f) == g

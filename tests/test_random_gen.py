@@ -16,6 +16,40 @@ def test_random_sop_is_deterministic_per_seed():
     assert a != c  # overwhelmingly likely; fixed seeds make it stable
 
 
+def test_generators_accept_int_seeds():
+    # An int seed is coerced to a fresh Random(seed): explicit, repeatable.
+    assert random_gen.random_sop(5, 4, 7) == random_gen.random_sop(5, 4, 7)
+    assert random_gen.random_sop(5, 4, 7) == random_gen.random_sop(5, 4, random.Random(7))
+    assert random_gen.random_symmetric(4, 3) == random_gen.random_symmetric(4, 3)
+
+
+def test_coerce_rng_rejects_global_state():
+    with pytest.raises(TypeError):
+        random_gen.coerce_rng(None)
+    with pytest.raises(TypeError):
+        random_gen.coerce_rng(random)  # the module itself = hidden global state
+    with pytest.raises(TypeError):
+        random_gen.coerce_rng(True)
+    with pytest.raises(TypeError):
+        random_gen.random_sop(4, 3, None)
+
+
+def test_coerce_rng_passes_instances_through():
+    r = random.Random(1)
+    assert random_gen.coerce_rng(r) is r
+    assert isinstance(random_gen.coerce_rng(5), random.Random)
+
+
+def test_generators_leave_global_random_untouched():
+    random.seed(1234)
+    before = random.getstate()
+    random_gen.random_sop(5, 4, 7)
+    random_gen.random_balanced_function(4, 11)
+    random_gen.random_symmetric(4, 3)
+    random_gen.random_with_planted_symmetry(4, (0, 2), "NE", 9)
+    assert random.getstate() == before
+
+
 def test_random_nondegenerate_has_full_support(rng):
     for _ in range(10):
         f = random_gen.random_nondegenerate(5, rng)

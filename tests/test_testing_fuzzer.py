@@ -1,0 +1,154 @@
+"""Tests for the differential fuzzer, the shrinker and the corpus format."""
+
+import pytest
+
+from repro.testing import corpus, oracle
+from repro.testing.fuzzer import (
+    FuzzConfig,
+    check_pair,
+    default_matchers,
+    mutant_matchers,
+    run_fuzz,
+    run_mutation_check,
+)
+from repro.testing.shrink import shrink_pair
+
+
+# ----------------------------------------------------------------------
+# The healthy loop
+# ----------------------------------------------------------------------
+
+def test_fuzz_clean_run_has_no_discrepancies():
+    report = run_fuzz(FuzzConfig(seed=0, iters=150))
+    assert report.ok, report.summary()
+    assert report.iterations == 150
+    # Every matcher participated.
+    assert set(report.matcher_calls) == {"core", "exhaustive", "signature", "spectral"}
+    assert report.metamorphic_runs > 0
+    assert "no discrepancies" in report.summary()
+
+
+def test_fuzz_is_deterministic_per_seed():
+    a = run_fuzz(FuzzConfig(seed=42, iters=80))
+    b = run_fuzz(FuzzConfig(seed=42, iters=80))
+    assert a.pair_counts == b.pair_counts
+    assert a.matcher_calls == b.matcher_calls
+    c = run_fuzz(FuzzConfig(seed=43, iters=80))
+    assert a.pair_counts != c.pair_counts  # overwhelmingly likely
+
+
+def test_fuzz_budget_stops_the_loop():
+    report = run_fuzz(FuzzConfig(seed=0, iters=None, budget_seconds=0.3))
+    assert report.ok
+    assert report.iterations > 0
+    assert report.elapsed < 10.0
+
+
+def test_check_pair_accepts_planted_truth(rng):
+    pair = oracle.equivalent_pair(4, rng)
+    assert check_pair(pair, default_matchers()) == []
+    pair = oracle.inequivalent_pair(4, rng)
+    assert check_pair(pair, default_matchers()) == []
+
+
+# ----------------------------------------------------------------------
+# Mutation sanity checks (the harness tests itself)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "mutant", ["drop-negated", "identity-witness", "ignore-output-phase"]
+)
+def test_injected_bug_is_caught(mutant):
+    report = run_mutation_check(mutant=mutant, seed=0, iters=300, max_n=5)
+    assert not report.ok, f"harness failed to catch mutant {mutant}"
+    kinds = {d.kind for d in report.discrepancies}
+    if mutant == "identity-witness":
+        assert "unsound-witness" in kinds
+    else:
+        assert kinds & {"ground-truth", "differential"}
+
+
+def test_mutant_discrepancies_replay_clean_on_healthy_matchers(tmp_path):
+    report = run_fuzz(
+        FuzzConfig(
+            seed=0,
+            iters=300,
+            max_n=5,
+            matchers=mutant_matchers("drop-negated"),
+            metamorphic=False,
+            corpus_dir=str(tmp_path),
+            max_discrepancies=2,
+        )
+    )
+    assert not report.ok
+    witnesses = corpus.load_corpus(tmp_path)
+    assert witnesses
+    for w in witnesses:
+        # The bug was in the mutant, not the real matcher: the recorded
+        # witnesses must pass the healthy battery.
+        assert corpus.replay(w) == []
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+# ----------------------------------------------------------------------
+
+def test_shrink_reaches_a_minimal_pair():
+    # Failure := both tables have their minterm-0 bit set.  The minimal
+    # witness under variable elimination and bit clearing is n=0, f=g=1.
+    def predicate(n, f_bits, g_bits):
+        return bool(f_bits & 1) and bool(g_bits & 1)
+
+    n, f_bits, g_bits = shrink_pair(4, 0xBEEF, 0xCAFF, predicate)
+    assert (n, f_bits, g_bits) == (0, 1, 1)
+
+
+def test_shrink_returns_input_when_not_failing():
+    n, f_bits, g_bits = shrink_pair(3, 0x12, 0x34, lambda *_: False)
+    assert (n, f_bits, g_bits) == (3, 0x12, 0x34)
+
+
+def test_shrink_survives_crashing_predicate():
+    calls = {"count": 0}
+
+    def predicate(n, f_bits, g_bits):
+        calls["count"] += 1
+        if calls["count"] == 1:
+            return True  # original failure reproduces
+        raise RuntimeError("checker crashed on the candidate")
+
+    n, f_bits, g_bits = shrink_pair(2, 0b1010, 0b0101, predicate)
+    assert (n, f_bits, g_bits) == (2, 0b1010, 0b0101)
+
+
+# ----------------------------------------------------------------------
+# Witness serialization
+# ----------------------------------------------------------------------
+
+def test_witness_json_roundtrip(tmp_path):
+    w = corpus.Witness(
+        n=3, f_bits=0x68, g_bits=0x16, expected="equivalent",
+        description="paper Section 3.1 example",
+    )
+    again = corpus.Witness.from_json(w.to_json())
+    assert again == w
+    path = corpus.save_witness(tmp_path, w)
+    assert path.exists()
+    assert corpus.load_corpus(tmp_path) == [w]
+
+
+def test_witness_rejects_unknown_schema():
+    with pytest.raises(ValueError):
+        corpus.Witness.from_json('{"schema": 99, "n": 1, "f": "0x1", "g": "0x1"}')
+    with pytest.raises(ValueError):
+        corpus.Witness(n=1, f_bits=0, g_bits=0, expected="maybe")
+
+
+def test_replay_flags_a_wrong_expected_verdict():
+    # A deliberately wrong corpus entry must fail its replay: x0 and ~x0
+    # are npn-equivalent, so recording "inequivalent" contradicts every
+    # matcher and the oracle.
+    wrong = corpus.Witness(n=1, f_bits=0b10, g_bits=0b01, expected="inequivalent")
+    failures = corpus.replay(wrong, metamorphic=False)
+    assert failures
+    assert any("ground-truth" in line for line in failures)

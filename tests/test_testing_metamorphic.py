@@ -1,0 +1,72 @@
+"""Tests for the metamorphic invariant checker."""
+
+import random
+
+from repro.boolfunc.transform import NpnTransform
+from repro.boolfunc.truthtable import TruthTable
+from repro.core import symmetry as sym
+from repro.testing import metamorphic, oracle
+
+
+def test_no_violations_on_random_functions(rng):
+    for _ in range(12):
+        n = rng.randint(1, 5)
+        f = oracle.random_base_function(n, rng)
+        assert metamorphic.run_metamorphic(f, rng) == []
+
+
+def test_no_violations_on_hard_families(rng):
+    for builder in ("balanced", "parity", "symmetric"):
+        f = oracle.BASE_FAMILIES[builder](4, rng)
+        assert metamorphic.run_metamorphic(f, rng) == []
+
+
+def test_expected_symmetries_mapping_swaps_on_single_negation():
+    # f = x0 XOR-free NE-symmetric pair: f(x0, x1) = x0 | x1 has NE.
+    f = TruthTable.from_minterms(2, [1, 2, 3])
+    assert sym.has_symmetry(f, 0, 1, sym.NE)
+    pairs = {(0, 1): sym.pair_symmetries(f, 0, 1)}
+    # Negate exactly one of the pair: NE must become E at the mapped pair.
+    t = NpnTransform((0, 1), 0b01, False)
+    expected = metamorphic.expected_symmetries_after(pairs, t)
+    g = t.apply(f)
+    assert expected[(0, 1)] == sym.pair_symmetries(g, 0, 1)
+    assert sym.E in expected[(0, 1)]
+
+
+def test_expected_symmetries_fixed_under_output_negation(rng):
+    f = TruthTable.random(3, rng)
+    pairs = {
+        (i, j): sym.pair_symmetries(f, i, j)
+        for i in range(3)
+        for j in range(i + 1, 3)
+    }
+    t = NpnTransform((0, 1, 2), 0, True)
+    assert metamorphic.expected_symmetries_after(pairs, t) == pairs
+
+
+def test_neutral_phase_check_flags_both_phases(rng):
+    # A neutral function must offer both output phases...
+    neutral = TruthTable.parity(3)
+    assert neutral.is_neutral()
+    assert metamorphic.check_neutral_phases(neutral) == []
+    # ...and a non-neutral one exactly one (the light phase).
+    light = TruthTable.from_minterms(3, [1])
+    assert metamorphic.check_neutral_phases(light) == []
+
+
+def test_grm_roundtrip_covers_all_polarities_small_n(rng):
+    f = TruthTable.random(3, rng)
+    assert metamorphic.check_grm_roundtrip(f) == []
+
+
+def test_composition_and_canonical_checks_pass_on_equivalents(rng):
+    for _ in range(6):
+        n = rng.randint(1, 5)
+        f = TruthTable.random(n, rng)
+        t = NpnTransform.random(n, rng)
+        s = NpnTransform.random(n, rng)
+        assert metamorphic.check_composition(f, t, s) == []
+        assert metamorphic.check_canonical(f, t) == []
+        assert metamorphic.check_symmetry_covariance(f, t) == []
+        assert metamorphic.check_signature_covariance(f, t) == []

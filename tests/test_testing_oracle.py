@@ -1,0 +1,90 @@
+"""Tests for the ground-truth oracle and its pair generators."""
+
+import pytest
+
+from repro.baselines import exhaustive
+from repro.boolfunc.truthtable import TruthTable
+from repro.core.canonical import canonical_form
+from repro.core.matcher import match
+from repro.testing import oracle
+
+
+def test_oracle_agrees_with_direct_exhaustive_match(rng):
+    for _ in range(30):
+        n = rng.randint(1, 3)
+        f = oracle.random_pair(n, rng).f
+        g = oracle.random_pair(n, rng).g
+        assert oracle.oracle_equivalent(f, g) == (exhaustive.match(f, g) is not None)
+
+
+def test_oracle_refuses_large_n(rng):
+    p = oracle.random_pair(5, rng)
+    with pytest.raises(oracle.OracleUndecidedError):
+        oracle.oracle_equivalent(p.f, p.g)
+    assert p.verdict is None
+
+
+def test_oracle_handles_mixed_widths(rng):
+    a = oracle.random_pair(2, rng).f
+    b = oracle.random_pair(3, rng).f
+    assert oracle.oracle_equivalent(a, b) is False
+
+
+def test_weight_invariant_preserved_by_transforms(rng):
+    for _ in range(40):
+        n = rng.randint(1, 6)
+        p = oracle.equivalent_pair(n, rng)
+        assert oracle.npn_weight_invariant(p.f) == oracle.npn_weight_invariant(p.g)
+
+
+def test_equivalent_pair_ships_verifying_transform(rng):
+    for n in range(1, 7):
+        p = oracle.equivalent_pair(n, rng)
+        assert p.verdict is True
+        assert p.transform is not None and p.transform.apply(p.f) == p.g
+
+
+def test_inequivalent_pair_breaks_the_weight_invariant(rng):
+    for n in range(1, 7):
+        p = oracle.inequivalent_pair(n, rng)
+        assert p.verdict is False
+        assert oracle.npn_weight_invariant(p.f) != oracle.npn_weight_invariant(p.g)
+        if oracle.oracle_decides(n):
+            assert not oracle.oracle_equivalent(p.f, p.g)
+        # The paper's matcher must agree with the constructed ground truth.
+        assert match(p.f, p.g) is None
+
+
+def test_weight_twin_pair_preserves_weight(rng):
+    for _ in range(20):
+        n = rng.randint(2, 6)
+        p = oracle.weight_twin_pair(n, rng)
+        # The double flip preserves the on-set weight of the transformed
+        # copy, so the npn weight invariant still matches f's.
+        assert oracle.npn_weight_invariant(p.f) == oracle.npn_weight_invariant(p.g)
+        if oracle.oracle_decides(n):
+            assert p.verdict == oracle.oracle_equivalent(p.f, p.g)
+
+
+def test_base_families_produce_requested_width(rng):
+    for name, fn in oracle.BASE_FAMILIES.items():
+        f = fn(4, rng)
+        assert f.n == 4, name
+
+
+def test_oracle_census_n3_has_14_classes():
+    classes = {
+        oracle._canonical_bits(3, bits, True) for bits in range(1 << (1 << 3))
+    }
+    assert len(classes) == 14
+
+
+@pytest.mark.slow
+def test_oracle_and_canonical_form_agree_on_n4_sample(rng):
+    """Exhaustive-enumeration cross-check of the GRM canonical form."""
+    sample = [TruthTable(4, rng.getrandbits(16)) for _ in range(80)]
+    for f in sample:
+        for g in sample:
+            same_oracle = oracle.oracle_equivalent(f, g)
+            same_canon = canonical_form(f)[0] == canonical_form(g)[0]
+            assert same_oracle == same_canon
