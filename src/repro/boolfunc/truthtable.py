@@ -24,7 +24,7 @@ class TruthTable:
     index.
     """
 
-    __slots__ = ("n", "bits")
+    __slots__ = ("n", "bits", "_count", "_support")
 
     def __init__(self, n: int, bits: int):
         if n < 0 or n > bitops.MAX_VARS:
@@ -34,9 +34,17 @@ class TruthTable:
             raise ValueError("table bits out of range for declared width")
         object.__setattr__(self, "n", n)
         object.__setattr__(self, "bits", bits)
+        # Lazily-filled caches; immutability makes them safe, and the
+        # classification hot path queries both repeatedly per function.
+        object.__setattr__(self, "_count", None)
+        object.__setattr__(self, "_support", None)
 
     def __setattr__(self, *_: object) -> None:
         raise AttributeError("TruthTable is immutable")
+
+    def __reduce__(self):
+        # Rebuild through __init__ (caches are per-process, not state).
+        return (TruthTable, (self.n, self.bits))
 
     # ------------------------------------------------------------------
     # Constructors
@@ -106,7 +114,11 @@ class TruthTable:
 
     def count(self) -> int:
         """On-set size ``|f|`` (the paper's functional weight ``fw``)."""
-        return bitops.popcount(self.bits)
+        c = self._count
+        if c is None:
+            c = bitops.popcount(self.bits)
+            object.__setattr__(self, "_count", c)
+        return c
 
     def is_neutral(self) -> bool:
         """True when ``|f| = 2**(n-1)`` (paper: *neutral* function)."""
@@ -160,10 +172,13 @@ class TruthTable:
 
     def support(self) -> int:
         """Bit mask of the variables the function genuinely depends on."""
-        mask = 0
-        for i in range(self.n):
-            if self.depends_on(i):
-                mask |= 1 << i
+        mask = self._support
+        if mask is None:
+            mask = 0
+            for i in range(self.n):
+                if self.depends_on(i):
+                    mask |= 1 << i
+            object.__setattr__(self, "_support", mask)
         return mask
 
     def support_size(self) -> int:

@@ -27,7 +27,6 @@ from typing import List, Optional, Sequence
 from repro.benchcircuits import build_circuit, circuit_names, get_spec, parse_blif, parse_pla
 from repro.benchcircuits.generators import BenchmarkCircuit, OutputFunction
 from repro.boolfunc.truthtable import TruthTable
-from repro.core.canonical import canonical_form
 from repro.core.circuitmatch import match_circuits
 from repro.core.differentiate import differentiate_circuit
 from repro.core.matcher import match
@@ -125,14 +124,37 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
 
 def cmd_classify(args: argparse.Namespace) -> int:
+    from repro.engine import ClassificationEngine, EngineOptions
+
     circuit = load_circuit(args.file)
-    classes: dict = {}
-    for out in circuit.outputs:
-        canon, _ = canonical_form(out.table)
-        classes.setdefault((out.table.n, canon.bits), []).append(out.name)
-    print(f"{circuit.name}: {len(circuit.outputs)} outputs, {len(classes)} npn classes")
-    for idx, ((n, bits), members) in enumerate(sorted(classes.items())):
-        print(f"  class {idx} (n={n}, canon=0x{bits:x}): {', '.join(members)}")
+    tables = [out.table for out in circuit.outputs]
+    options = EngineOptions(workers=args.workers, cache_size=args.cache_size)
+    result = ClassificationEngine(options).classify(tables)
+    if args.report == "json":
+        import json
+
+        report = result.report_dict()
+        report["circuit"] = circuit.name
+        for cls in report["classes"]:
+            cls["outputs"] = [circuit.outputs[i].name for i in cls["members"]]
+        print(json.dumps(report, indent=2))
+        return 0
+    print(
+        f"{circuit.name}: {len(circuit.outputs)} outputs, "
+        f"{result.num_classes} npn classes"
+    )
+    for idx, (key, members) in enumerate(sorted(result.members.items())):
+        names = ", ".join(circuit.outputs[i].name for i in members)
+        label = "rep" if key.quarantined else "canon"
+        print(f"  class {idx} (n={key.n}, {label}=0x{key.key:x}): {names}")
+    if args.stats:
+        s = result.stats
+        print(
+            f"  [engine: {s.canonicalizations} canonicalizations, "
+            f"{s.membership_hits}/{s.membership_probes} probe hits, "
+            f"{s.cache_hits} cache hits, {s.duplicates} duplicates, "
+            f"{s.total_seconds * 1e3:.1f} ms]"
+        )
     return 0
 
 
@@ -310,6 +332,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("classify", help="group outputs into npn classes")
     p.add_argument("file")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="classification worker processes (0 = in-process)",
+    )
+    p.add_argument(
+        "--cache-size",
+        type=int,
+        default=1 << 16,
+        dest="cache_size",
+        help="canonical-key LRU cache bound per process",
+    )
+    p.add_argument(
+        "--report",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json includes engine stats)",
+    )
+    p.add_argument(
+        "--stats", action="store_true", help="append engine counters to text output"
+    )
     p.set_defaults(func=cmd_classify)
 
     p = sub.add_parser("symmetries", help="variable symmetries per output")

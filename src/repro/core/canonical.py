@@ -20,14 +20,23 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 from repro.boolfunc.transform import NpnTransform
 from repro.boolfunc.truthtable import TruthTable
 from repro.core import symmetry as sym_mod
-from repro.core.matcher import MatchOptions, DEFAULT_OPTIONS, hard_completions, _refined_partition
-from repro.core.polarity import PolarityDecision, decide_polarity, phase_candidates
+from repro.core.errors import BudgetExceededError, CanonicalizationBudgetError
+from repro.core.matcher import MatchOptions, DEFAULT_OPTIONS, match, _refined_partition
+from repro.core.polarity import (
+    PolarityDecision,
+    decide_polarity,
+    hard_completions,
+    phase_candidates,
+)
 from repro.grm.forms import Grm
 from repro.utils.partition import Partition
 
-
-class CanonicalizationBudgetError(RuntimeError):
-    """Raised when the ordering enumeration exceeds the configured cap."""
+__all__ = [
+    "CanonicalizationBudgetError",
+    "canonical_form",
+    "classify",
+    "npn_class_count",
+]
 
 
 def _orderings(
@@ -97,35 +106,40 @@ def canonical_form(
     best_bits: Optional[int] = None
     best_t: Optional[NpnTransform] = None
 
-    for ff, fo in phase_candidates(f):
-        for dec in decide_polarity(ff):
-            for w in hard_completions(ff, dec, options.hard_enumeration_limit):
-                grm = Grm.from_truthtable(ff, w)
-                dec_w = PolarityDecision(
-                    n=n,
-                    polarity=w,
-                    decided_mask=dec.decided_mask,
-                    hard_mask=dec.hard_mask,
-                    vacuous_mask=dec.vacuous_mask,
-                    used_linear=dec.used_linear,
-                    rounds=dec.rounds,
-                )
-                part = _refined_partition(ff, grm, dec_w, options)
-                groups = sym_mod.positive_symmetric_groups([grm], n)
-                group_of: Dict[int, int] = {}
-                for gi, grp in enumerate(groups):
-                    for v in grp:
-                        group_of[v] = gi
-                neg = ~w & full  # rotate every literal to positive phase
-                for order in _orderings(part, group_of, max_orderings):
-                    perm = [0] * n
-                    for pos, v in enumerate(order):
-                        perm[v] = pos
-                    t = NpnTransform(tuple(perm), neg, fo)
-                    bits = t.apply(f).bits
-                    if best_bits is None or bits < best_bits:
-                        best_bits = bits
-                        best_t = t
+    try:
+        for ff, fo in phase_candidates(f):
+            for dec in decide_polarity(ff):
+                for w in hard_completions(ff, dec, options.hard_enumeration_limit):
+                    grm = Grm.from_truthtable(ff, w)
+                    dec_w = PolarityDecision(
+                        n=n,
+                        polarity=w,
+                        decided_mask=dec.decided_mask,
+                        hard_mask=dec.hard_mask,
+                        vacuous_mask=dec.vacuous_mask,
+                        used_linear=dec.used_linear,
+                        rounds=dec.rounds,
+                    )
+                    part = _refined_partition(ff, grm, dec_w, options)
+                    groups = sym_mod.positive_symmetric_groups([grm], n)
+                    group_of: Dict[int, int] = {}
+                    for gi, grp in enumerate(groups):
+                        for v in grp:
+                            group_of[v] = gi
+                    neg = ~w & full  # rotate every literal to positive phase
+                    for order in _orderings(part, group_of, max_orderings):
+                        perm = [0] * n
+                        for pos, v in enumerate(order):
+                            perm[v] = pos
+                        t = NpnTransform(tuple(perm), neg, fo)
+                        bits = t.apply(f).bits
+                        if best_bits is None or bits < best_bits:
+                            best_bits = bits
+                            best_t = t
+    except BudgetExceededError as exc:
+        # Identify the offending function so batch drivers can quarantine
+        # it instead of abandoning completed work.
+        raise exc.attach_function(n, f.bits)
 
     assert best_bits is not None and best_t is not None
     return TruthTable(n, best_bits), best_t
@@ -134,13 +148,64 @@ def canonical_form(
 def classify(
     functions: Iterable[TruthTable],
     options: MatchOptions = DEFAULT_OPTIONS,
+    max_orderings: int = 40320,
+    budget_fallback: bool = True,
 ) -> Dict[int, List[TruthTable]]:
-    """Group functions by npn class (keyed by canonical table bits)."""
+    """Group functions by npn class (keyed by canonical table bits).
+
+    A :class:`~repro.core.errors.BudgetExceededError` raised while
+    canonicalizing one function no longer aborts the batch: with
+    ``budget_fallback`` (the default) the offending function is matched
+    pairwise against the class representatives found so far, and failing
+    that it seeds a fallback class keyed by ``~rep.bits`` (negative, so
+    fallback keys can never collide with canonical keys).  Pass
+    ``budget_fallback=False`` to restore the raising behaviour.
+
+    For batch workloads prefer :class:`repro.engine.ClassificationEngine`,
+    which adds pre-key bucketing, caching, and parallelism on top of the
+    same canonical keys.
+    """
     classes: Dict[int, List[TruthTable]] = {}
+    canon_reps: List[Tuple[int, TruthTable]] = []
+    fallback_reps: List[Tuple[int, TruthTable]] = []
+    deferred: List[TruthTable] = []
     for f in functions:
-        canon, _ = canonical_form(f, options)
+        try:
+            canon, _ = canonical_form(f, options, max_orderings)
+        except BudgetExceededError:
+            if not budget_fallback:
+                raise
+            deferred.append(f)
+            continue
+        if canon.bits not in classes:
+            canon_reps.append((canon.bits, canon))
         classes.setdefault(canon.bits, []).append(f)
+    # Quarantined functions are grouped last so every canonical class is
+    # known before the pairwise sweep (a classmate later in the input
+    # would otherwise split the class).
+    for f in deferred:
+        classes.setdefault(_fallback_key(f, canon_reps, fallback_reps, options), []).append(f)
     return classes
+
+
+def _fallback_key(
+    f: TruthTable,
+    canon_reps: List[Tuple[int, TruthTable]],
+    fallback_reps: List[Tuple[int, TruthTable]],
+    options: MatchOptions,
+) -> int:
+    """Class key for a function whose canonicalization blew its budget."""
+    for key, rep in canon_reps + fallback_reps:
+        if rep.n != f.n:
+            continue
+        try:
+            if match(f, rep, options) is not None:
+                return key
+        except BudgetExceededError:
+            continue
+    key = ~f.bits  # negative: disjoint from canonical (non-negative) keys
+    fallback_reps.append((key, f))
+    return key
 
 
 def npn_class_count(n: int, options: MatchOptions = DEFAULT_OPTIONS) -> int:

@@ -26,20 +26,37 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.boolfunc.transform import NpnTransform
 from repro.boolfunc.truthtable import TruthTable
 from repro.core import signatures as sigs_mod
 from repro.core import symmetry as sym_mod
-from repro.core.polarity import PolarityDecision, decide_polarity, phase_candidates
+from repro.core.errors import MatchBudgetExceededError
+from repro.core.polarity import (
+    PolarityDecision,
+    decide_polarity,
+    hard_completions,
+    phase_candidates,
+)
 from repro.grm.forms import Grm
 from repro.utils import bitops
 from repro.utils.partition import Partition
 
-
-class MatchBudgetExceededError(RuntimeError):
-    """Raised when hard-variable enumeration would exceed the search budget."""
+__all__ = [
+    "MatchBudgetExceededError",
+    "MatchOptions",
+    "MatchStats",
+    "MatchResult",
+    "MatchOutcome",
+    "DEFAULT_OPTIONS",
+    "hard_completions",
+    "np_match",
+    "match",
+    "match_with_stats",
+    "is_npn_equivalent",
+    "is_np_equivalent",
+]
 
 
 @dataclass
@@ -79,70 +96,6 @@ class MatchResult:
 
 
 DEFAULT_OPTIONS = MatchOptions()
-
-
-# ----------------------------------------------------------------------
-# Hard-variable polarity completions
-# ----------------------------------------------------------------------
-
-def _ne_classes(f: TruthTable, variables: Sequence[int]) -> List[List[int]]:
-    """Group ``variables`` into truth-level NE-symmetry classes.
-
-    NE-symmetric variables may be permuted freely without changing the
-    function, so polarity completions that differ only by permutation
-    within a class are redundant for matching.
-    """
-    variables = sorted(variables)
-    parent = {v: v for v in variables}
-
-    def find(a: int) -> int:
-        while parent[a] != a:
-            parent[a] = parent[parent[a]]
-            a = parent[a]
-        return a
-
-    for idx, a in enumerate(variables):
-        for b in variables[idx + 1:]:
-            if find(a) != find(b) and sym_mod.has_symmetry(f, a, b, sym_mod.NE):
-                parent[find(b)] = find(a)
-    classes: Dict[int, List[int]] = {}
-    for v in variables:
-        classes.setdefault(find(v), []).append(v)
-    return [sorted(c) for c in classes.values()]
-
-
-def hard_completions(
-    f: TruthTable, decision: PolarityDecision, limit: int
-) -> List[int]:
-    """Polarity vectors completing the hard variables of ``decision``.
-
-    Within each NE class only the "first k members positive" patterns
-    are emitted.  Raises :class:`MatchBudgetExceededError` when the
-    reduced count still exceeds ``limit``.
-    """
-    if not decision.hard_mask:
-        return [decision.polarity]
-    hard_vars = bitops.bits_of(decision.hard_mask)
-    classes = _ne_classes(f, hard_vars)
-    total = 1
-    for cls in classes:
-        total *= len(cls) + 1
-        if total > limit:
-            raise MatchBudgetExceededError(
-                f"hard-variable completions ({total}+) exceed limit {limit}"
-            )
-    base = decision.polarity & ~decision.hard_mask
-    completions = [base]
-    for cls in classes:
-        expanded = []
-        for pol in completions:
-            ones = 0
-            expanded.append(pol)  # zero members positive
-            for v in cls:
-                ones |= 1 << v
-                expanded.append(pol | ones)
-        completions = expanded
-    return completions
 
 
 # ----------------------------------------------------------------------

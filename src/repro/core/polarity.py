@@ -35,10 +35,12 @@ branches and returns a decision for each phase — which is why
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.boolfunc.ops import linear_function
 from repro.boolfunc.truthtable import TruthTable
+from repro.core import symmetry as sym_mod
+from repro.core.errors import MatchBudgetExceededError
 from repro.grm.forms import Grm
 from repro.utils import bitops
 
@@ -200,27 +202,95 @@ def canonical_grm(f: TruthTable) -> Grm:
     return Grm.from_truthtable(f, decide_polarity_primary(f).polarity)
 
 
-def candidate_polarities(decision: PolarityDecision, limit: int = 4096) -> Iterator[int]:
-    """Enumerate polarity completions over the hard variables.
+def _ne_classes(f: TruthTable, variables: List[int]) -> List[List[int]]:
+    """Group ``variables`` into truth-level NE-symmetry classes.
 
-    The decided (and vacuous) bits are kept; each subset of the hard
-    variables is flipped in turn.  ``limit`` bounds the enumeration — a
-    safety valve far above the paper's observation that at most ``2n``
-    forms are ever needed in practice.
+    NE-symmetric variables may be permuted freely without changing the
+    function, so polarity completions that differ only by permutation
+    within a class are redundant for matching.
     """
-    hard_bits = bitops.bits_of(decision.hard_mask)
-    total = 1 << len(hard_bits)
-    if total > limit:
-        raise ValueError(
-            f"{len(hard_bits)} hard variables exceed the enumeration limit"
-        )
+    variables = sorted(variables)
+    parent = {v: v for v in variables}
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    for idx, a in enumerate(variables):
+        for b in variables[idx + 1:]:
+            if find(a) != find(b) and sym_mod.has_symmetry(f, a, b, sym_mod.NE):
+                parent[find(b)] = find(a)
+    classes: Dict[int, List[int]] = {}
+    for v in variables:
+        classes.setdefault(find(v), []).append(v)
+    return [sorted(c) for c in classes.values()]
+
+
+def polarity_completions(
+    decision: PolarityDecision,
+    limit: int = 4096,
+    f: Optional[TruthTable] = None,
+) -> List[int]:
+    """The single entry point for hard-variable polarity enumeration.
+
+    The decided (and vacuous) bits of ``decision`` are kept fixed and
+    the hard variables are completed.  With ``f`` given, the hard
+    variables are grouped into truth-level NE-symmetry classes and only
+    the "first k members positive" patterns are emitted per class (the
+    matcher's reduction — e.g. parity needs ``n + 1`` completions rather
+    than ``2**n``).  Without ``f`` every subset of the hard variables is
+    enumerated (each hard variable is its own class).
+
+    Raises :class:`MatchBudgetExceededError` when the (reduced) count
+    exceeds ``limit``.
+    """
+    if not decision.hard_mask:
+        return [decision.polarity]
+    hard_vars = bitops.bits_of(decision.hard_mask)
+    if f is None:
+        classes = [[v] for v in hard_vars]
+    else:
+        classes = _ne_classes(f, hard_vars)
+    total = 1
+    for cls in classes:
+        total *= len(cls) + 1
+        if total > limit:
+            raise MatchBudgetExceededError(
+                f"hard-variable completions ({total}+) exceed limit {limit}",
+                n=decision.n,
+                bits=None if f is None else f.bits,
+            )
     base = decision.polarity & ~decision.hard_mask
-    for choice in range(total):
-        pol = base
-        for k, bit in enumerate(hard_bits):
-            if (choice >> k) & 1:
-                pol |= 1 << bit
-        yield pol
+    completions = [base]
+    for cls in classes:
+        expanded = []
+        for pol in completions:
+            ones = 0
+            expanded.append(pol)  # zero members positive
+            for v in cls:
+                ones |= 1 << v
+                expanded.append(pol | ones)
+        completions = expanded
+    return completions
+
+
+def hard_completions(
+    f: TruthTable, decision: PolarityDecision, limit: int
+) -> List[int]:
+    """Polarity vectors completing the hard variables of ``decision``,
+    reduced by the NE-symmetry classes of ``f``."""
+    return polarity_completions(decision, limit, f=f)
+
+
+def candidate_polarities(decision: PolarityDecision, limit: int = 4096) -> Iterator[int]:
+    """Enumerate every subset completion of the hard variables.
+
+    Superseded by :func:`polarity_completions`, which this wraps (the
+    ``f=None`` case); kept for callers that want the unreduced stream.
+    """
+    return iter(polarity_completions(decision, limit))
 
 
 def phase_candidates(f: TruthTable) -> List[Tuple[TruthTable, bool]]:

@@ -1,0 +1,71 @@
+"""A bounded LRU cache for canonical keys.
+
+The engine keys the cache on the exact function identity ``(n, bits)``
+and stores ``(canon_bits, transform)`` where ``transform`` is the plain
+``(perm, input_neg, output_neg)`` tuple of the witnessing
+:class:`~repro.boolfunc.transform.NpnTransform`.  Invariants:
+
+* entries are immutable facts — ``canon_bits`` is *the* canonical key of
+  ``(n, bits)``, so stale entries cannot exist and eviction only ever
+  costs recomputation, never correctness;
+* the cache is per-process: parallel workers each hold their own, and
+  merged results stay deterministic because the values are
+  content-derived, not order-derived.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+CacheKey = Tuple[int, int]
+CacheValue = Tuple[int, Tuple[Tuple[int, ...], int, bool]]
+
+
+class CanonicalKeyCache:
+    """Bounded LRU mapping ``(n, bits) -> (canon_bits, transform tuple)``."""
+
+    def __init__(self, maxsize: int = 1 << 16):
+        if maxsize <= 0:
+            raise ValueError("cache maxsize must be positive")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: "OrderedDict[CacheKey, CacheValue]" = OrderedDict()
+
+    def get(self, key: CacheKey) -> Optional[CacheValue]:
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: CacheKey, value: CacheValue) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._data
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = self.misses = self.evictions = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,540 @@
+"""The batch NPN classification engine.
+
+Layered on the per-function canonicalizer
+(:func:`repro.core.canonical.canonical_form`) to classify *many*
+functions — the paper's library-matching workload — without redoing
+work:
+
+1. **Exact dedup.**  Repeated ``(n, bits)`` tables are classified once;
+   a bounded LRU cache (:class:`~repro.engine.cache.CanonicalKeyCache`)
+   also short-circuits repeats across buckets and batches.
+2. **Pre-key bucketing.**  The npn-invariant pre-keys of
+   :mod:`repro.engine.prekey` split the batch into buckets; every npn
+   class lies wholly inside one bucket, so buckets are independent units
+   of work and the cross-bucket merge is a disjoint union.
+3. **Membership fast-path.**  Inside a bucket, the first function of a
+   class pays full ``canonical_form``.  Later members run a cheaper
+   *early-exit probe*: the same phase/polarity/completion candidate
+   machinery, but with only the structural + cofactor-weight partition
+   (no GRM signature refinement) and no symmetry pruning.  The probe's
+   candidate set is therefore a superset of the canonicalizer's, so the
+   class's canonical table is guaranteed to appear in it; the first
+   candidate whose transformed table equals a known canonical key is a
+   literal witness of membership and the probe stops.  A probe miss
+   proves the function opens a new class (completeness), and a probe
+   that overflows ``membership_cap`` orderings falls back to the full
+   canonicalizer (soundness is never at stake).
+4. **Quarantine.**  A function whose canonicalization exceeds its budget
+   no longer poisons the batch: after the bucket's canonical classes are
+   all known it is matched pairwise against them, then against earlier
+   quarantined representatives, and otherwise seeds a fallback class of
+   its own (keys carry a ``quarantined`` flag so they can never collide
+   with canonical keys).
+5. **Parallelism.**  Buckets are dealt round-robin (largest first) to
+   ``ProcessPoolExecutor`` workers.  Results merge deterministically
+   regardless of completion order because every class key is derived
+   from content (canonical bits), not from discovery order.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, fields
+from itertools import chain, islice, permutations, product
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.boolfunc.transform import NpnTransform
+from repro.boolfunc.truthtable import TruthTable
+from repro.core.canonical import canonical_form
+from repro.core.errors import (
+    BudgetExceededError,
+    CanonicalizationBudgetError,
+    MatchBudgetExceededError,
+)
+from repro.core.matcher import MatchOptions, match
+from repro.core.polarity import phase_candidates
+from repro.engine.cache import CanonicalKeyCache
+from repro.engine.prekey import coarse_prekey, fine_prekey
+from repro.utils import bitops
+
+
+class ClassKey(NamedTuple):
+    """Identity of one engine class.
+
+    ``key`` is the canonical table bits for regular classes; quarantined
+    classes use their representative's raw bits with ``quarantined=True``
+    so the two namespaces cannot collide.
+    """
+
+    n: int
+    key: int
+    quarantined: bool = False
+
+
+@dataclass
+class EngineOptions:
+    """Tuning knobs of the batch engine."""
+
+    workers: int = 0
+    """Process count; 0 or 1 classifies in-process."""
+
+    cache_size: int = 1 << 16
+    """Bound on the canonical-key LRU cache (per process)."""
+
+    max_orderings: int = 40320
+    """Ordering budget handed to :func:`canonical_form`."""
+
+    membership_cap: int = 64
+    """Candidate orderings a membership probe may explore per polarity
+    decision before falling back to full canonicalization."""
+
+    use_prekey: bool = True
+    """Bucket by pre-key (off = one bucket per variable count)."""
+
+    use_membership: bool = True
+    """Enable the early-exit membership probe inside buckets."""
+
+    probe_miss_limit: int = 8
+    """Stop probing a bucket after this many consecutive misses (a hit
+    resets the count); 0 probes unconditionally."""
+
+    match_options: MatchOptions = field(default_factory=MatchOptions)
+
+
+@dataclass
+class EngineStats:
+    """Work counters and per-stage wall times of one engine run."""
+
+    functions: int = 0
+    distinct_functions: int = 0
+    duplicates: int = 0
+    buckets: int = 0
+    singleton_buckets: int = 0
+    fine_keyed_buckets: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    canonicalizations: int = 0
+    membership_probes: int = 0
+    membership_hits: int = 0
+    membership_bailouts: int = 0
+    orderings_explored: int = 0
+    quarantined: int = 0
+    pairwise_matches: int = 0
+    prekey_seconds: float = 0.0
+    classify_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    def merge(self, other: "EngineStats") -> None:
+        """Accumulate a worker's counters (times add as CPU-seconds)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> Dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one batch classification.
+
+    ``members`` maps each class to the *input positions* of its member
+    functions (ascending, so results are independent of worker
+    scheduling); ``functions`` is the batch in input order.
+    """
+
+    functions: List[TruthTable]
+    members: Dict[ClassKey, List[int]]
+    stats: EngineStats
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.members)
+
+    def groups(self) -> Dict[ClassKey, List[TruthTable]]:
+        """Classes as lists of member functions, in input order."""
+        return {
+            key: [self.functions[i] for i in idxs]
+            for key, idxs in self.members.items()
+        }
+
+    def class_of(self, index: int) -> ClassKey:
+        """The class key of the ``index``-th input function."""
+        for key, idxs in self.members.items():
+            if index in idxs:
+                return key
+        raise KeyError(index)
+
+    def report_dict(self) -> Dict:
+        """JSON-able summary (used by ``grm-match classify --report json``)."""
+        return {
+            "functions": len(self.functions),
+            "classes": [
+                {
+                    "n": key.n,
+                    "key": key.key,
+                    "quarantined": key.quarantined,
+                    "members": idxs,
+                }
+                for key, idxs in sorted(self.members.items())
+            ],
+            "stats": self.stats.as_dict(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Membership fast-path
+# ----------------------------------------------------------------------
+
+def _membership_probe(
+    f: TruthTable,
+    known_bits: Dict[int, None],
+    options: EngineOptions,
+    stats: EngineStats,
+) -> Optional[Tuple[int, NpnTransform]]:
+    """Early-exit test of ``f`` against the bucket's known canonical keys.
+
+    Returns ``(canon_bits, witness)`` on a hit — the witness satisfies
+    ``witness.apply(f).bits == canon_bits`` — and ``None`` on a miss.
+    Raises :class:`CanonicalizationBudgetError` when the candidate
+    enumeration overflows its caps (caller falls back to the full
+    canonicalizer).
+
+    The probe is *opportunistic*: a hit is a literal witness of
+    membership (sound by direct table comparison), while a miss merely
+    sends the function to :func:`canonical_form`, which classifies it
+    correctly regardless.  That freedom lets the probe skip the
+    polarity-decision machinery entirely and enumerate candidates from
+    raw cofactor-weight analysis: unbalanced variables get the pole the
+    canonicalizer's first decision round would give them, balanced
+    variables are tried under both poles, and orderings come from the
+    canonically-ordered weight-pair partition (the same first
+    refinements the canonicalizer applies, so the candidate sets almost
+    always intersect in the canonical table).
+    """
+    n = f.n
+    if n == 0:
+        return None
+    mask = bitops.table_mask(n)
+    neg_limit = options.match_options.hard_enumeration_limit
+    for ff, fo in phase_candidates(f):
+        out_mask = mask if fo else 0
+        bits = ff.bits
+        # Raw per-variable weight analysis: pole forced by the unbalance
+        # direction (pcw > ncw is the canonicalizer's positive M-pole,
+        # i.e. no negation), both poles tried for balanced variables.
+        forced_neg = 0
+        balanced_mask = 0
+        keys = []
+        for v in range(n):
+            span = 1 << v
+            amask = bitops.axis_mask(n, v)
+            lo = bits & amask
+            hi = (bits >> span) & amask
+            ncw = bitops.popcount(lo)
+            pcw = bitops.popcount(hi)
+            if ncw == pcw:
+                if lo != hi:
+                    balanced_mask |= span
+                keys.append((0 if lo != hi else 1, (ncw, pcw)))
+            else:
+                if ncw > pcw:
+                    forced_neg |= 1 << v
+                keys.append((0, (ncw, pcw) if ncw < pcw else (pcw, ncw)))
+        balanced = bitops.bits_of(balanced_mask)
+        if (1 << len(balanced)) > neg_limit:
+            raise CanonicalizationBudgetError(
+                f"membership probe: more than {neg_limit} candidate negations"
+            )
+        # The canonically-ordered weight-pair partition, grouped inline
+        # (equivalent to Partition(n).refine(keys.__getitem__) for these
+        # homogeneous keys, without the object overhead).
+        groups: Dict[Tuple, List[int]] = {}
+        for v in range(n):
+            groups.setdefault(keys[v], []).append(v)
+        blocks = [tuple(groups[k]) for k in sorted(groups)]
+        # Orderings are the products of within-block permutations, in the
+        # same nesting order the canonicalizer's recursive enumeration
+        # uses, but generated by itertools at C speed and truncated at
+        # membership_cap — a truncated scan just lowers the hit chance,
+        # never the correctness, since a miss falls back to the full
+        # canonicalizer anyway.
+        orders = islice(
+            (
+                tuple(chain.from_iterable(combo))
+                for combo in product(*[list(permutations(b)) for b in blocks])
+            ),
+            options.membership_cap,
+        )
+        # Negation commutes past permutation:
+        #   permute(negate(f, neg), perm) == negate(permute(f, perm), neg')
+        # with bit i of neg landing on bit perm[i] of neg'.  Permute once
+        # per ordering, then walk the balanced-pole subsets in Gray-code
+        # order so every further candidate is a single axis flip;
+        # NpnTransform objects are only built for the witness.
+        for order in orders:
+            perm = [0] * n
+            for pos, v in enumerate(order):
+                perm[v] = pos
+            permuted = bitops.permute_vars(f.bits, n, perm)
+            mapped = 0
+            for i in bitops.iter_bits(forced_neg):
+                mapped |= 1 << perm[i]
+            cand = bitops.negate_inputs(permuted, n, mapped) ^ out_mask
+            stats.orderings_explored += 1
+            if cand in known_bits:
+                return cand, NpnTransform(tuple(perm), forced_neg, fo)
+            neg = forced_neg
+            for k in range(1, 1 << len(balanced)):
+                v = balanced[(k & -k).bit_length() - 1]
+                neg ^= 1 << v
+                cand = bitops.flip_axis(cand, n, perm[v])
+                stats.orderings_explored += 1
+                if cand in known_bits:
+                    return cand, NpnTransform(tuple(perm), neg, fo)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Bucket classification (runs in workers too)
+# ----------------------------------------------------------------------
+
+def _classify_bucket(
+    items: Sequence[Tuple[int, int]],
+    options: EngineOptions,
+    cache: CanonicalKeyCache,
+    stats: EngineStats,
+) -> Dict[ClassKey, List[Tuple[int, int]]]:
+    """Classify one bucket of distinct ``(n, bits)`` functions.
+
+    Items are processed in sorted order so class discovery (and with it
+    quarantine representatives) is deterministic.
+    """
+    out: Dict[ClassKey, List[Tuple[int, int]]] = {}
+    known: Dict[int, None] = {}  # canon_bits -> None, in discovery order
+    deferred: List[TruthTable] = []
+    consecutive_misses = 0
+
+    def assign(key: ClassKey, n: int, bits: int) -> None:
+        out.setdefault(key, []).append((n, bits))
+
+    for n, bits in sorted(items):
+        f = TruthTable(n, bits)
+        cached = cache.get((n, bits))
+        if cached is not None:
+            stats.cache_hits += 1
+            known.setdefault(cached[0])
+            assign(ClassKey(n, cached[0]), n, bits)
+            continue
+        stats.cache_misses += 1
+        # Probes are opportunistic, so a bucket that keeps missing (a
+        # batch with no repeated classes) stops paying for them.
+        probing = (
+            options.use_membership
+            and known
+            and (
+                options.probe_miss_limit <= 0
+                or consecutive_misses < options.probe_miss_limit
+            )
+        )
+        if probing:
+            stats.membership_probes += 1
+            try:
+                hit = _membership_probe(f, known, options, stats)
+            except BudgetExceededError:
+                stats.membership_bailouts += 1
+                hit = None
+            if hit is not None:
+                canon_bits, t = hit
+                stats.membership_hits += 1
+                consecutive_misses = 0
+                cache.put((n, bits), (canon_bits, (t.perm, t.input_neg, t.output_neg)))
+                assign(ClassKey(n, canon_bits), n, bits)
+                continue
+            consecutive_misses += 1
+        try:
+            canon, t = canonical_form(f, options.match_options, options.max_orderings)
+            stats.canonicalizations += 1
+        except BudgetExceededError:
+            stats.quarantined += 1
+            deferred.append(f)
+            continue
+        cache.put((n, bits), (canon.bits, (t.perm, t.input_neg, t.output_neg)))
+        known.setdefault(canon.bits)
+        assign(ClassKey(n, canon.bits), n, bits)
+
+    # Quarantined functions: every canonical class of the bucket is now
+    # known, so pairwise matching cannot split a class.
+    quarantine_reps: List[Tuple[int, TruthTable]] = []
+    for f in deferred:
+        assign(_quarantine_key(f, known, quarantine_reps, options, stats), f.n, f.bits)
+    return out
+
+
+def _quarantine_key(
+    f: TruthTable,
+    known: Dict[int, None],
+    quarantine_reps: List[Tuple[int, TruthTable]],
+    options: EngineOptions,
+    stats: EngineStats,
+) -> ClassKey:
+    for canon_bits in known:
+        stats.pairwise_matches += 1
+        try:
+            if match(f, TruthTable(f.n, canon_bits), options.match_options) is not None:
+                return ClassKey(f.n, canon_bits)
+        except MatchBudgetExceededError:
+            continue
+    for rep_bits, rep in quarantine_reps:
+        stats.pairwise_matches += 1
+        try:
+            if match(f, rep, options.match_options) is not None:
+                return ClassKey(f.n, rep_bits, quarantined=True)
+        except MatchBudgetExceededError:
+            continue
+    quarantine_reps.append((f.bits, f))
+    return ClassKey(f.n, f.bits, quarantined=True)
+
+
+def _classify_chunk(
+    payload: Tuple[EngineOptions, List[List[Tuple[int, int]]]],
+) -> Tuple[List[Tuple[Tuple[int, int, bool], List[Tuple[int, int]]]], Dict[str, float]]:
+    """Worker entry point: classify a chunk of whole buckets.
+
+    Returns plain tuples so results pickle cheaply and merge
+    deterministically in the parent.
+    """
+    options, bucket_items = payload
+    cache = CanonicalKeyCache(options.cache_size)
+    stats = EngineStats()
+    t0 = time.perf_counter()
+    classes: List[Tuple[Tuple[int, int, bool], List[Tuple[int, int]]]] = []
+    for items in bucket_items:
+        for key, members in _classify_bucket(items, options, cache, stats).items():
+            classes.append((tuple(key), members))
+    stats.classify_seconds = time.perf_counter() - t0
+    return classes, stats.as_dict()
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+class ClassificationEngine:
+    """Cached, bucketed, optionally parallel batch NPN classification.
+
+    The engine (and its cache) may be reused across batches; class keys
+    are stable because they are canonical table bits.
+    """
+
+    def __init__(self, options: Optional[EngineOptions] = None):
+        self.options = options or EngineOptions()
+        self.cache = CanonicalKeyCache(self.options.cache_size)
+
+    def classify(self, functions: Iterable[TruthTable]) -> EngineResult:
+        """Classify a batch; equivalent inputs share a class key, and the
+        keys equal :func:`canonical_form`'s canonical bits."""
+        t_start = time.perf_counter()
+        funcs = list(functions)
+        stats = EngineStats()
+        stats.functions = len(funcs)
+
+        # Stage 1+2: dedup and pre-key bucketing.
+        t0 = time.perf_counter()
+        members_of: Dict[Tuple[int, int], List[int]] = {}
+        for idx, f in enumerate(funcs):
+            if not isinstance(f, TruthTable):
+                raise TypeError(f"expected TruthTable, got {type(f).__name__}")
+            members_of.setdefault((f.n, f.bits), []).append(idx)
+        stats.distinct_functions = len(members_of)
+        stats.duplicates = stats.functions - stats.distinct_functions
+        buckets = self._bucketize(members_of, stats)
+        stats.prekey_seconds = time.perf_counter() - t0
+
+        # Stage 3: classify every bucket.
+        ordered = sorted(buckets.items(), key=lambda kv: (-len(kv[1]), kv[0]))
+        bucket_lists = [items for _, items in ordered]
+        raw: Dict[ClassKey, List[Tuple[int, int]]] = {}
+        workers = self.options.workers
+        if workers and workers > 1 and len(bucket_lists) > 1:
+            chunks: List[List[List[Tuple[int, int]]]] = [[] for _ in range(workers)]
+            for i, items in enumerate(bucket_lists):
+                chunks[i % workers].append(items)
+            chunks = [c for c in chunks if c]
+            with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+                results = list(
+                    pool.map(_classify_chunk, [(self.options, c) for c in chunks])
+                )
+            for classes, stats_dict in results:
+                stats.merge(EngineStats(**stats_dict))
+                for key_tuple, members in classes:
+                    raw.setdefault(ClassKey(*key_tuple), []).extend(members)
+        else:
+            t0 = time.perf_counter()
+            for items in bucket_lists:
+                for key, members in _classify_bucket(
+                    items, self.options, self.cache, stats
+                ).items():
+                    raw.setdefault(key, []).extend(members)
+            stats.classify_seconds += time.perf_counter() - t0
+
+        # Stage 4: deterministic merge back to input positions.
+        t0 = time.perf_counter()
+        members: Dict[ClassKey, List[int]] = {}
+        for key in sorted(raw):
+            idxs: List[int] = []
+            for nb in raw[key]:
+                idxs.extend(members_of[nb])
+            members[key] = sorted(idxs)
+        stats.merge_seconds = time.perf_counter() - t0
+        stats.total_seconds = time.perf_counter() - t_start
+        return EngineResult(functions=funcs, members=members, stats=stats)
+
+    def _bucketize(
+        self, members_of: Dict[Tuple[int, int], List[int]], stats: EngineStats
+    ) -> Dict[Tuple, List[Tuple[int, int]]]:
+        """Group distinct functions by pre-key (two-tier: the fine key is
+        only computed inside coarse buckets that collided)."""
+        buckets: Dict[Tuple, List[Tuple[int, int]]] = {}
+        if not self.options.use_prekey:
+            for n, bits in members_of:
+                buckets.setdefault((n,), []).append((n, bits))
+        else:
+            coarse: Dict[Tuple, List[Tuple[int, int]]] = {}
+            for n, bits in members_of:
+                coarse.setdefault(coarse_prekey(TruthTable(n, bits)), []).append(
+                    (n, bits)
+                )
+            for ckey, items in coarse.items():
+                if len(items) == 1:
+                    buckets[ckey] = items
+                    continue
+                stats.fine_keyed_buckets += 1
+                for n, bits in items:
+                    fkey = fine_prekey(TruthTable(n, bits), ckey)
+                    buckets.setdefault(fkey, []).append((n, bits))
+        stats.buckets = len(buckets)
+        stats.singleton_buckets = sum(1 for v in buckets.values() if len(v) == 1)
+        return buckets
+
+
+def classify_batch(
+    functions: Iterable[TruthTable],
+    options: Optional[EngineOptions] = None,
+    **overrides,
+) -> EngineResult:
+    """One-shot convenience: ``classify_batch(funcs, workers=4)``."""
+    if options is None:
+        options = EngineOptions(**overrides)
+    elif overrides:
+        raise TypeError("pass either options or keyword overrides, not both")
+    return ClassificationEngine(options).classify(functions)
+
+
+def npn_class_count_engine(n: int, options: Optional[EngineOptions] = None) -> int:
+    """Engine-powered twin of :func:`repro.core.canonical.npn_class_count`."""
+    result = classify_batch(
+        (TruthTable(n, bits) for bits in range(1 << (1 << n))), options
+    )
+    return result.num_classes

@@ -25,9 +25,22 @@ class Grm:
     the cube, and the empty mask is the constant-1 cube.
     """
 
-    __slots__ = ("n", "polarity", "cubes", "_coeffs")
+    __slots__ = (
+        "n",
+        "polarity",
+        "cubes",
+        "_coeffs",
+        "_fc",
+        "_vic",
+        "_fvc",
+        "_inc",
+        "_finc",
+        "_primes",
+    )
 
     def __init__(self, n: int, polarity: int, cubes: FrozenSet[int]):
+        if not 0 <= polarity < (1 << n):
+            raise ValueError(f"polarity vector {polarity} out of range for n={n}")
         self.n = n
         self.polarity = polarity
         self.cubes = frozenset(cubes)
@@ -37,6 +50,18 @@ class Grm:
                 raise ValueError(f"cube mask {c} out of range for n={n}")
             coeffs |= 1 << c
         self._coeffs = coeffs
+        self._init_signature_caches()
+
+    def _init_signature_caches(self) -> None:
+        # One-shot caches for the structural signature data; a form is
+        # immutable, and the refinement path used to recompute these on
+        # every call.
+        self._fc = None
+        self._vic = None
+        self._fvc = None
+        self._inc = None
+        self._finc = None
+        self._primes = None
 
     # ------------------------------------------------------------------
     # Construction / conversion
@@ -50,11 +75,14 @@ class Grm:
 
     @classmethod
     def from_coefficients(cls, n: int, polarity: int, coeffs: int) -> "Grm":
+        if not 0 <= polarity < (1 << n):
+            raise ValueError(f"polarity vector {polarity} out of range for n={n}")
         grm = cls.__new__(cls)
         grm.n = n
         grm.polarity = polarity
         grm.cubes = frozenset(bitops.iter_bits(coeffs))
         grm._coeffs = coeffs
+        grm._init_signature_caches()
         return grm
 
     def to_truthtable(self) -> TruthTable:
@@ -80,49 +108,59 @@ class Grm:
     def cube_length_histogram(self) -> Tuple[int, ...]:
         """The paper's FC vector, with index ``k`` counting cubes of length
         ``k`` (index 0 counts the constant cube)."""
-        return tuple(bitops.weight_by_length(self.cubes, self.n))
+        if self._fc is None:
+            self._fc = tuple(bitops.weight_by_length(self.cubes, self.n))
+        return self._fc
 
     def variable_inclusion_counts(self) -> Tuple[Tuple[int, ...], ...]:
         """The paper's VIC matrix: entry ``[k][j]`` is the number of cubes of
         length ``k`` containing variable ``x_j`` (rows ``k = 0..n``; row 0 is
         all zeros since the constant cube has no literals)."""
-        vic = [[0] * self.n for _ in range(self.n + 1)]
-        for cube in self.cubes:
-            k = bitops.popcount(cube)
-            for j in bitops.iter_bits(cube):
-                vic[k][j] += 1
-        return tuple(tuple(row) for row in vic)
+        if self._vic is None:
+            vic = [[0] * self.n for _ in range(self.n + 1)]
+            for cube in self.cubes:
+                k = bitops.popcount(cube)
+                for j in bitops.iter_bits(cube):
+                    vic[k][j] += 1
+            self._vic = tuple(tuple(row) for row in vic)
+        return self._vic
 
     def variable_cube_counts(self) -> Tuple[int, ...]:
         """The paper's FVC vector: total number of cubes containing each
         variable (the column sums of VIC)."""
-        fvc = [0] * self.n
-        for cube in self.cubes:
-            for j in bitops.iter_bits(cube):
-                fvc[j] += 1
-        return tuple(fvc)
+        if self._fvc is None:
+            fvc = [0] * self.n
+            for cube in self.cubes:
+                for j in bitops.iter_bits(cube):
+                    fvc[j] += 1
+            self._fvc = tuple(fvc)
+        return self._fvc
 
     def incidence_matrix(self) -> Tuple[Tuple[int, ...], ...]:
         """The paper's INC matrix: entry ``[i][j]`` (i != j) counts cubes
         containing both ``x_i`` and ``x_j``; the diagonal entry ``[i][i]`` is
         1 exactly when the single-literal cube of ``x_i`` is present."""
-        inc = [[0] * self.n for _ in range(self.n)]
-        for cube in self.cubes:
-            vars_in = bitops.bits_of(cube)
-            if len(vars_in) == 1:
-                inc[vars_in[0]][vars_in[0]] = 1
-            for a in range(len(vars_in)):
-                for b in range(a + 1, len(vars_in)):
-                    inc[vars_in[a]][vars_in[b]] += 1
-                    inc[vars_in[b]][vars_in[a]] += 1
-        return tuple(tuple(row) for row in inc)
+        if self._inc is None:
+            inc = [[0] * self.n for _ in range(self.n)]
+            for cube in self.cubes:
+                vars_in = bitops.bits_of(cube)
+                if len(vars_in) == 1:
+                    inc[vars_in[0]][vars_in[0]] = 1
+                for a in range(len(vars_in)):
+                    for b in range(a + 1, len(vars_in)):
+                        inc[vars_in[a]][vars_in[b]] += 1
+                        inc[vars_in[b]][vars_in[a]] += 1
+            self._inc = tuple(tuple(row) for row in inc)
+        return self._inc
 
     def incidence_totals(self) -> Tuple[int, ...]:
         """The paper's FINC vector: INC row sums excluding the diagonal."""
-        inc = self.incidence_matrix()
-        return tuple(
-            sum(inc[i][j] for j in range(self.n) if j != i) for i in range(self.n)
-        )
+        if self._finc is None:
+            inc = self.incidence_matrix()
+            self._finc = tuple(
+                sum(inc[i][j] for j in range(self.n) if j != i) for i in range(self.n)
+            )
+        return self._finc
 
     # ------------------------------------------------------------------
     # Prime cubes (Section 3.3)
@@ -136,19 +174,14 @@ class Grm:
         other cube's support is a strict superset.  Prime cubes appear in
         *every* GRM form of the function.
         """
-        cubes = sorted(self.cubes, key=bitops.popcount, reverse=True)
-        primes = []
-        for idx, cand in enumerate(cubes):
-            dominated = False
-            for other in cubes:
-                if other is cand:
-                    continue
-                if other & cand == cand and other != cand:
-                    dominated = True
-                    break
-            if not dominated:
-                primes.append(cand)
-        return frozenset(primes)
+        if self._primes is None:
+            cubes = self.cubes
+            self._primes = frozenset(
+                cand
+                for cand in cubes
+                if not any(other != cand and other & cand == cand for other in cubes)
+            )
+        return self._primes
 
     # ------------------------------------------------------------------
     # Algebra on forms (same polarity vector)

@@ -21,6 +21,7 @@ for free.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterator
 
 from repro.utils import bitops
@@ -33,8 +34,15 @@ def polarity_neg_mask(n: int, polarity: int) -> int:
     return ~polarity & ((1 << n) - 1)
 
 
+@lru_cache(maxsize=1 << 15)
 def fprm_coefficients(bits: int, n: int, polarity: int) -> int:
-    """Packed GRM coefficient vector of the packed truth table ``bits``."""
+    """Packed GRM coefficient vector of the packed truth table ``bits``.
+
+    Memoized: the matcher and the classification engine rebuild the GRM
+    of the same ``(bits, polarity)`` pair whenever a function recurs in
+    a batch, and the butterfly is pure.  Call
+    ``fprm_coefficients.cache_clear()`` for cold-cache measurements.
+    """
     flipped = bitops.negate_inputs(bits, n, polarity_neg_mask(n, polarity))
     return bitops.mobius(flipped, n)
 

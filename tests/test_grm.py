@@ -161,3 +161,26 @@ def test_to_expression():
 def test_bad_cube_mask_rejected():
     with pytest.raises(ValueError):
         Grm(2, 0b11, frozenset({5}))
+
+
+# ----------------------------------------------------------------------
+# Constructor validation
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("bad", [-1, 1 << 3, (1 << 3) + 5])
+def test_grm_rejects_out_of_range_polarity(bad):
+    with pytest.raises(ValueError):
+        Grm(3, bad, frozenset())
+    with pytest.raises(ValueError):
+        Grm.from_coefficients(3, bad, 0)
+
+
+def test_grm_rejects_out_of_range_cube_mask():
+    with pytest.raises(ValueError):
+        Grm(2, 0, frozenset({0b100}))
+
+
+def test_grm_accepts_polarity_bounds():
+    assert Grm(3, 0, frozenset()).polarity == 0
+    assert Grm(3, 0b111, frozenset()).polarity == 0b111
+    assert Grm.from_coefficients(0, 0, 1).cubes == frozenset({0})

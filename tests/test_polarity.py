@@ -10,12 +10,14 @@ from repro.boolfunc.random_gen import random_balanced_function
 from repro.boolfunc.transform import NpnTransform
 from repro.boolfunc.truthtable import TruthTable
 from repro.core import polarity as pol_mod
+from repro.core.errors import MatchBudgetExceededError
 from repro.core.polarity import (
     candidate_polarities,
     canonical_grm,
     decide_polarity,
     decide_polarity_primary,
     phase_candidates,
+    polarity_completions,
 )
 from repro.grm.transform import fprm_coefficients
 from tests.conftest import truth_tables
@@ -107,8 +109,25 @@ def test_candidate_polarities_enumeration():
     cands = list(candidate_polarities(d))
     assert len(cands) == 8
     assert len(set(cands)) == 8
-    with pytest.raises(ValueError):
+    with pytest.raises(MatchBudgetExceededError):
         list(candidate_polarities(d, limit=4))
+
+
+def test_polarity_completions_unifies_matcher_enumeration():
+    """One entry point: ``f=None`` gives every subset, ``f`` reduces by
+    NE classes, and both overflow with the same exception type."""
+    f = TruthTable.parity(3)
+    d = decide_polarity_primary(f)
+    full = set(polarity_completions(d, limit=4096))
+    assert len(full) == 8
+    reduced = polarity_completions(d, limit=4096, f=f)
+    # Parity's three hard variables form one NE class: n + 1 completions.
+    assert len(reduced) == 4
+    assert set(reduced) <= full
+    with pytest.raises(MatchBudgetExceededError) as exc_info:
+        polarity_completions(d, limit=2, f=f)
+    assert exc_info.value.n == 3
+    assert exc_info.value.bits == f.bits
 
 
 def test_canonical_grm_roundtrip():

@@ -87,3 +87,22 @@ def test_constant_functions_have_trivial_primes():
     assert grm.prime_cubes() == {0}
     zero = Grm.from_truthtable(TruthTable.zero(3), 0b111)
     assert zero.prime_cubes() == frozenset()
+
+
+def test_prime_cubes_duplicate_support_cube_pinned():
+    # A cube is dominated only by a *strict* support superset.  Duplicate
+    # cube masks handed to the constructor collapse into one cube and must
+    # not be mistaken for a dominating "other" cube of equal support.
+    g = Grm(3, 0b000, [0b011, 0b011, 0b110])
+    assert g.cubes == frozenset({0b011, 0b110})
+    assert g.prime_cubes() == frozenset({0b011, 0b110})
+    # The equal-support trap with non-interned ints: values above the
+    # small-int cache compare equal without being identical objects.
+    big = (1 << 10) | 1
+    h = Grm(11, 0, [big, int(str(big))])
+    assert h.prime_cubes() == frozenset({big})
+    # Strict superset still dominates.
+    k = Grm(3, 0, [0b011, 0b111])
+    assert k.prime_cubes() == frozenset({0b111})
+    # The cached result is stable across calls.
+    assert k.prime_cubes() is k.prime_cubes()
