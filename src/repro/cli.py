@@ -9,6 +9,10 @@ Subcommands::
     minimize FILE              minimum-cube FPRM polarity per output
     map FILE                   AIG technology mapping onto the library
     fuzz                       differential fuzzing against every baseline
+    lib build STORE            populate a persistent npn class store
+    lib query STORE [FILE]     warm-resolve functions against a store
+    lib stats STORE            store summary (and integrity verify)
+    lib compact STORE          dedupe superseded store records
     table1 [NAMES...]          run the paper's Table 1 experiment
     bench-info NAME            describe a built-in benchmark circuit
 
@@ -152,8 +156,13 @@ def cmd_classify(args: argparse.Namespace) -> int:
         print(
             f"  [engine: {s.canonicalizations} canonicalizations, "
             f"{s.membership_hits}/{s.membership_probes} probe hits, "
-            f"{s.cache_hits} cache hits, {s.duplicates} duplicates, "
-            f"{s.total_seconds * 1e3:.1f} ms]"
+            f"{s.duplicates} duplicates, {s.total_seconds * 1e3:.1f} ms]"
+        )
+        lookups = s.cache_hits + s.cache_misses
+        rate = (100.0 * s.cache_hits / lookups) if lookups else 0.0
+        print(
+            f"  [cache: {s.cache_hits} hits / {s.cache_misses} misses "
+            f"({rate:.0f}%), {s.cache_evictions} evictions]"
         )
     return 0
 
@@ -233,6 +242,148 @@ def cmd_map(args: argparse.Namespace) -> int:
         ok = result.verify()
         print(f"verification: {'PASS' if ok else 'FAIL'}")
         return 0 if ok else 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# lib: the persistent npn class store
+# ----------------------------------------------------------------------
+
+def _open_store(args: argparse.Namespace, create: bool = False):
+    from repro.store import ClassStore, StoreError
+
+    try:
+        return ClassStore(
+            args.store, num_shards=getattr(args, "shards", 64), create=create
+        )
+    except StoreError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def _random_tables(count: int, n: int, seed: int) -> List[TruthTable]:
+    import random
+
+    rng = random.Random(seed)
+    return [TruthTable.random(n, rng) for _ in range(count)]
+
+
+def cmd_lib_build(args: argparse.Namespace) -> int:
+    from repro.engine import ClassificationEngine, EngineOptions
+    from repro.library import CellLibrary
+
+    store = _open_store(args, create=True)
+    if not args.no_cells:
+        lib = CellLibrary()
+        changed = lib.build_store(store)
+        print(
+            f"cell library: {len(lib.cells)} cells -> "
+            f"{changed} new/updated class records"
+        )
+    funcs: List[TruthTable] = []
+    for ref in args.circuit:
+        circuit = load_circuit(ref)
+        funcs.extend(out.table for out in circuit.outputs)
+    if args.random:
+        funcs.extend(_random_tables(args.random, args.n, args.seed))
+    if funcs:
+        engine = ClassificationEngine(EngineOptions(workers=args.workers), store=store)
+        result = engine.classify(funcs)
+        s = result.stats
+        print(
+            f"classified {len(funcs)} functions: {result.num_classes} classes, "
+            f"{s.store_new_classes} stored new, {s.store_hits} warm hits, "
+            f"{s.canonicalizations} canonicalizations"
+        )
+    store.close()
+    st = store.stats()
+    print(
+        f"store: {st['records']} records, {st['classes']} classes, "
+        f"{st['shards_present']}/{st['num_shards']} shards, {st['bytes']} bytes"
+    )
+    return 0
+
+
+def cmd_lib_query(args: argparse.Namespace) -> int:
+    from repro.core.canonical import canonical_form
+    from repro.engine import store_lookup
+    from repro.library import CellLibrary
+    from repro.store import StoreError
+
+    store = _open_store(args)
+    if args.file:
+        circuit = load_circuit(args.file)
+        items = [(out.name, out.table) for out in circuit.outputs]
+    elif args.random:
+        items = [
+            (f"rand{i}", f)
+            for i, f in enumerate(_random_tables(args.random, args.n, args.seed))
+        ]
+    else:
+        raise SystemExit("error: lib query needs a FILE or --random COUNT")
+    lib = None
+    if args.bind:
+        try:
+            lib = CellLibrary.from_store(store)
+        except StoreError:
+            lib = CellLibrary(store=store)
+    hits = 0
+    for name, table in items:
+        resolved = store_lookup(store, table)
+        if resolved is not None:
+            canon_bits = resolved[0]
+            how = "warm"
+            hits += 1
+        else:
+            canon_bits = canonical_form(table)[0].bits
+            how = "cold"
+        line = f"  {name}: n={table.n} class=0x{canon_bits:x} [{how}]"
+        record = store.get(table.n, canon_bits)
+        if record is not None and record.meta.get("kind") == "cell-class":
+            line += " cells=" + ",".join(c["name"] for c in record.meta["cells"])
+        if lib is not None:
+            binding = lib.bind(table)
+            line += (
+                f" bind={binding.cell.name} (area {binding.cell.area:g})"
+                if binding
+                else " bind=none"
+            )
+        print(line)
+    print(f"{hits}/{len(items)} warm hits")
+    if args.expect_hits and hits == 0:
+        print("error: expected warm hits, got none", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_lib_stats(args: argparse.Namespace) -> int:
+    from repro.store import StoreError
+
+    store = _open_store(args)
+    st = store.stats()
+    print(f"store {st['path']}")
+    print(
+        f"  {st['records']} records, {st['classes']} classes, "
+        f"{st['shards_present']}/{st['num_shards']} shards, {st['bytes']} bytes"
+    )
+    for n, count in st["classes_by_n"].items():
+        print(f"  n={n}: {count} classes")
+    if args.verify:
+        try:
+            total = store.verify()
+        except StoreError as exc:
+            print(f"verify: FAILED — {exc}", file=sys.stderr)
+            return 1
+        print(f"verify: {total} records OK (checksums + witnesses)")
+    return 0
+
+
+def cmd_lib_compact(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    result = store.compact()
+    print(
+        f"compacted: {result['records_before']} -> {result['records_after']} "
+        f"records ({result['shards_rewritten']} shards rewritten)"
+    )
     return 0
 
 
@@ -376,6 +527,74 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cut-size", type=int, default=4)
     p.add_argument("--verify", action="store_true")
     p.set_defaults(func=cmd_map)
+
+    p = sub.add_parser(
+        "lib",
+        help="persistent npn class store (build / query / stats / compact)",
+        description=(
+            "Manage an on-disk sharded NPN class store: populate it from "
+            "the cell library, benchmark circuits, or generated functions "
+            "(build), resolve functions against it without canonicalizing "
+            "(query), inspect and integrity-check it (stats), and drop "
+            "superseded records (compact)."
+        ),
+    )
+    libsub = p.add_subparsers(dest="lib_command", required=True)
+
+    q = libsub.add_parser("build", help="create/extend a store")
+    q.add_argument("store", help="store directory")
+    q.add_argument(
+        "--circuit",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="classify this circuit's outputs into the store (repeatable)",
+    )
+    q.add_argument(
+        "--random", type=int, default=0, metavar="COUNT",
+        help="also classify COUNT seeded random functions",
+    )
+    q.add_argument("--n", type=int, default=4, help="variables for --random")
+    q.add_argument("--seed", type=int, default=0, help="seed for --random")
+    q.add_argument("--shards", type=int, default=64, help="shard count (new stores)")
+    q.add_argument("--workers", type=int, default=0, help="engine worker processes")
+    q.add_argument(
+        "--no-cells", action="store_true", help="skip indexing the cell library"
+    )
+    q.set_defaults(func=cmd_lib_build)
+
+    q = libsub.add_parser("query", help="warm-resolve functions against a store")
+    q.add_argument("store", help="store directory")
+    q.add_argument("file", nargs="?", default=None, help="circuit to resolve")
+    q.add_argument(
+        "--random", type=int, default=0, metavar="COUNT",
+        help="resolve COUNT seeded random functions instead of a FILE",
+    )
+    q.add_argument("--n", type=int, default=4, help="variables for --random")
+    q.add_argument("--seed", type=int, default=0, help="seed for --random")
+    q.add_argument(
+        "--bind", action="store_true", help="also bind each function to a cell"
+    )
+    q.add_argument(
+        "--expect-hits",
+        action="store_true",
+        dest="expect_hits",
+        help="exit 1 unless at least one warm hit occurred (CI smoke)",
+    )
+    q.set_defaults(func=cmd_lib_query)
+
+    q = libsub.add_parser("stats", help="store summary")
+    q.add_argument("store", help="store directory")
+    q.add_argument(
+        "--verify",
+        action="store_true",
+        help="full integrity sweep: checksums, framing, witnesses",
+    )
+    q.set_defaults(func=cmd_lib_stats)
+
+    q = libsub.add_parser("compact", help="dedupe superseded records")
+    q.add_argument("store", help="store directory")
+    q.set_defaults(func=cmd_lib_compact)
 
     p = sub.add_parser(
         "fuzz",

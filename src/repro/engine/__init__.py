@@ -22,6 +22,8 @@ from repro.engine.classifier import (
     EngineStats,
     classify_batch,
     npn_class_count_engine,
+    probe_known,
+    store_lookup,
 )
 from repro.engine.prekey import coarse_prekey, fine_prekey, symmetry_counts
 
@@ -34,6 +36,8 @@ __all__ = [
     "EngineStats",
     "classify_batch",
     "npn_class_count_engine",
+    "probe_known",
+    "store_lookup",
     "coarse_prekey",
     "fine_prekey",
     "symmetry_counts",

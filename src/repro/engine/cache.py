@@ -61,11 +61,18 @@ class CanonicalKeyCache:
         self._data.clear()
         self.hits = self.misses = self.evictions = 0
 
-    def stats(self) -> Dict[str, int]:
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
         return {
             "size": len(self._data),
             "maxsize": self.maxsize,
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
         }

@@ -34,6 +34,13 @@ work:
    ``ProcessPoolExecutor`` workers.  Results merge deterministically
    regardless of completion order because every class key is derived
    from content (canonical bits), not from discovery order.
+6. **Warm start.**  Given a :class:`~repro.store.ClassStore`, every
+   bucket's ``known`` set is pre-seeded with the store's classes for
+   that pre-key (and the LRU cache with their representatives), so a
+   function whose class was ever stored resolves through the membership
+   probe — or an exact cache hit — without a single canonicalization.
+   Classes discovered fresh are written back after the batch, making
+   every repeated workload cheaper than the last.
 """
 
 from __future__ import annotations
@@ -42,7 +49,16 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, fields
 from itertools import chain, islice, permutations, product
-from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.boolfunc.transform import NpnTransform
 from repro.boolfunc.truthtable import TruthTable
@@ -57,6 +73,13 @@ from repro.core.polarity import phase_candidates
 from repro.engine.cache import CanonicalKeyCache
 from repro.engine.prekey import coarse_prekey, fine_prekey
 from repro.utils import bitops
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store imports prekey)
+    from repro.store.store import ClassStore
+
+# One store-seeded class shipped to a bucket: (n, canon_bits, rep_bits,
+# witness tuple).  Plain tuples so worker payloads pickle cheaply.
+WarmEntry = Tuple[int, int, int, Tuple[Tuple[int, ...], int, bool]]
 
 
 class ClassKey(NamedTuple):
@@ -114,6 +137,7 @@ class EngineStats:
     fine_keyed_buckets: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_evictions: int = 0
     canonicalizations: int = 0
     membership_probes: int = 0
     membership_hits: int = 0
@@ -121,6 +145,9 @@ class EngineStats:
     orderings_explored: int = 0
     quarantined: int = 0
     pairwise_matches: int = 0
+    store_seeded: int = 0
+    store_hits: int = 0
+    store_new_classes: int = 0
     prekey_seconds: float = 0.0
     classify_seconds: float = 0.0
     merge_seconds: float = 0.0
@@ -305,16 +332,35 @@ def _classify_bucket(
     options: EngineOptions,
     cache: CanonicalKeyCache,
     stats: EngineStats,
-) -> Dict[ClassKey, List[Tuple[int, int]]]:
+    warm: Sequence[WarmEntry] = (),
+) -> Tuple[
+    Dict[ClassKey, List[Tuple[int, int]]],
+    Dict[Tuple[int, int], Tuple[int, Tuple[Tuple[int, ...], int, bool]]],
+]:
     """Classify one bucket of distinct ``(n, bits)`` functions.
 
     Items are processed in sorted order so class discovery (and with it
-    quarantine representatives) is deterministic.
+    quarantine representatives) is deterministic.  ``warm`` carries the
+    persistent store's classes for this bucket's pre-key: their canonical
+    keys seed ``known`` (so membership probes can hit them without any
+    canonicalization) and their representatives seed the LRU cache (so
+    an exact repeat of a stored representative is a dictionary hit).
+
+    Returns the class map plus the *discovered* classes — the ones whose
+    canonical key was neither warm-seeded nor already known — as
+    ``(n, canon_bits) -> (rep_bits, witness tuple)`` for store write-back.
     """
     out: Dict[ClassKey, List[Tuple[int, int]]] = {}
     known: Dict[int, None] = {}  # canon_bits -> None, in discovery order
+    discovered: Dict[Tuple[int, int], Tuple[int, Tuple[Tuple[int, ...], int, bool]]] = {}
+    warm_keys: set = set()
     deferred: List[TruthTable] = []
     consecutive_misses = 0
+
+    for wn, canon_bits, rep_bits, witness in warm:
+        known.setdefault(canon_bits)
+        warm_keys.add(canon_bits)
+        cache.put((wn, rep_bits), (canon_bits, witness))
 
     def assign(key: ClassKey, n: int, bits: int) -> None:
         out.setdefault(key, []).append((n, bits))
@@ -324,6 +370,10 @@ def _classify_bucket(
         cached = cache.get((n, bits))
         if cached is not None:
             stats.cache_hits += 1
+            if cached[0] in warm_keys:
+                stats.store_hits += 1
+            elif cached[0] not in known:
+                discovered.setdefault((n, cached[0]), (bits, cached[1]))
             known.setdefault(cached[0])
             assign(ClassKey(n, cached[0]), n, bits)
             continue
@@ -348,6 +398,8 @@ def _classify_bucket(
             if hit is not None:
                 canon_bits, t = hit
                 stats.membership_hits += 1
+                if canon_bits in warm_keys:
+                    stats.store_hits += 1
                 consecutive_misses = 0
                 cache.put((n, bits), (canon_bits, (t.perm, t.input_neg, t.output_neg)))
                 assign(ClassKey(n, canon_bits), n, bits)
@@ -360,7 +412,10 @@ def _classify_bucket(
             stats.quarantined += 1
             deferred.append(f)
             continue
-        cache.put((n, bits), (canon.bits, (t.perm, t.input_neg, t.output_neg)))
+        witness = (t.perm, t.input_neg, t.output_neg)
+        cache.put((n, bits), (canon.bits, witness))
+        if canon.bits not in known:
+            discovered.setdefault((n, canon.bits), (bits, witness))
         known.setdefault(canon.bits)
         assign(ClassKey(n, canon.bits), n, bits)
 
@@ -369,7 +424,7 @@ def _classify_bucket(
     quarantine_reps: List[Tuple[int, TruthTable]] = []
     for f in deferred:
         assign(_quarantine_key(f, known, quarantine_reps, options, stats), f.n, f.bits)
-    return out
+    return out, discovered
 
 
 def _quarantine_key(
@@ -398,23 +453,34 @@ def _quarantine_key(
 
 
 def _classify_chunk(
-    payload: Tuple[EngineOptions, List[List[Tuple[int, int]]]],
-) -> Tuple[List[Tuple[Tuple[int, int, bool], List[Tuple[int, int]]]], Dict[str, float]]:
+    payload: Tuple[EngineOptions, List[Tuple[List[Tuple[int, int]], Sequence[WarmEntry]]]],
+) -> Tuple[
+    List[Tuple[Tuple[int, int, bool], List[Tuple[int, int]]]],
+    Dict[str, float],
+    List[Tuple[Tuple[int, int], Tuple[int, Tuple[Tuple[int, ...], int, bool]]]],
+]:
     """Worker entry point: classify a chunk of whole buckets.
 
-    Returns plain tuples so results pickle cheaply and merge
-    deterministically in the parent.
+    Each chunk element is ``(bucket items, warm entries)``.  Returns
+    plain tuples so results pickle cheaply and merge deterministically
+    in the parent, plus the chunk's newly discovered classes for store
+    write-back (the parent owns the store; workers never touch disk).
     """
     options, bucket_items = payload
     cache = CanonicalKeyCache(options.cache_size)
     stats = EngineStats()
     t0 = time.perf_counter()
     classes: List[Tuple[Tuple[int, int, bool], List[Tuple[int, int]]]] = []
-    for items in bucket_items:
-        for key, members in _classify_bucket(items, options, cache, stats).items():
+    discovered: Dict[Tuple[int, int], Tuple[int, Tuple[Tuple[int, ...], int, bool]]] = {}
+    for items, warm in bucket_items:
+        bucket_classes, found = _classify_bucket(items, options, cache, stats, warm)
+        for key, members in bucket_classes.items():
             classes.append((tuple(key), members))
+        for dkey, dval in found.items():
+            discovered.setdefault(dkey, dval)
     stats.classify_seconds = time.perf_counter() - t0
-    return classes, stats.as_dict()
+    stats.cache_evictions = cache.evictions
+    return classes, stats.as_dict(), sorted(discovered.items())
 
 
 # ----------------------------------------------------------------------
@@ -426,11 +492,22 @@ class ClassificationEngine:
 
     The engine (and its cache) may be reused across batches; class keys
     are stable because they are canonical table bits.
+
+    ``store`` (a :class:`repro.store.ClassStore`) enables warm starts:
+    stored classes whose pre-key matches a bucket are seeded into it
+    before classification, and classes discovered fresh are written back
+    (and flushed) after the batch.  Quarantined classes are never
+    persisted — their keys are raw representative bits, not canonical.
     """
 
-    def __init__(self, options: Optional[EngineOptions] = None):
+    def __init__(
+        self,
+        options: Optional[EngineOptions] = None,
+        store: Optional["ClassStore"] = None,
+    ):
         self.options = options or EngineOptions()
         self.cache = CanonicalKeyCache(self.options.cache_size)
+        self.store = store
 
     def classify(self, functions: Iterable[TruthTable]) -> EngineResult:
         """Classify a batch; equivalent inputs share a class key, and the
@@ -452,32 +529,71 @@ class ClassificationEngine:
         buckets = self._bucketize(members_of, stats)
         stats.prekey_seconds = time.perf_counter() - t0
 
+        # Warm start: pull the store's classes for every bucket pre-key.
+        warm_by_key: Dict[Tuple, List[WarmEntry]] = {}
+        if self.store is not None:
+            t0 = time.perf_counter()
+            for bkey in buckets:
+                prekey = bkey[:4] if len(bkey) >= 4 else None
+                records = self.store.warm_records(bkey[0], prekey)
+                if records:
+                    warm_by_key[bkey] = [
+                        (r.n, r.canon_bits, r.rep_bits, r.witness) for r in records
+                    ]
+                    stats.store_seeded += len(records)
+            stats.prekey_seconds += time.perf_counter() - t0
+
         # Stage 3: classify every bucket.
         ordered = sorted(buckets.items(), key=lambda kv: (-len(kv[1]), kv[0]))
-        bucket_lists = [items for _, items in ordered]
+        bucket_lists = [
+            (items, warm_by_key.get(key, ())) for key, items in ordered
+        ]
         raw: Dict[ClassKey, List[Tuple[int, int]]] = {}
+        discovered: Dict[Tuple[int, int], Tuple[int, Tuple[Tuple[int, ...], int, bool]]] = {}
         workers = self.options.workers
         if workers and workers > 1 and len(bucket_lists) > 1:
-            chunks: List[List[List[Tuple[int, int]]]] = [[] for _ in range(workers)]
-            for i, items in enumerate(bucket_lists):
-                chunks[i % workers].append(items)
+            chunks: List[List[Tuple[List[Tuple[int, int]], Sequence[WarmEntry]]]] = [
+                [] for _ in range(workers)
+            ]
+            for i, entry in enumerate(bucket_lists):
+                chunks[i % workers].append(entry)
             chunks = [c for c in chunks if c]
             with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
                 results = list(
                     pool.map(_classify_chunk, [(self.options, c) for c in chunks])
                 )
-            for classes, stats_dict in results:
+            for classes, stats_dict, found in results:
                 stats.merge(EngineStats(**stats_dict))
                 for key_tuple, members in classes:
                     raw.setdefault(ClassKey(*key_tuple), []).extend(members)
+                for dkey, dval in found:
+                    discovered.setdefault(dkey, dval)
         else:
             t0 = time.perf_counter()
-            for items in bucket_lists:
-                for key, members in _classify_bucket(
-                    items, self.options, self.cache, stats
-                ).items():
+            evictions_before = self.cache.evictions
+            for items, warm in bucket_lists:
+                bucket_classes, found = _classify_bucket(
+                    items, self.options, self.cache, stats, warm
+                )
+                for key, members in bucket_classes.items():
                     raw.setdefault(key, []).extend(members)
+                for dkey, dval in found.items():
+                    discovered.setdefault(dkey, dval)
+            stats.cache_evictions += self.cache.evictions - evictions_before
             stats.classify_seconds += time.perf_counter() - t0
+
+        # Write newly discovered classes back to the store.
+        if self.store is not None and discovered:
+            for dkey in sorted(discovered):
+                d_n, d_canon = dkey
+                rep_bits, witness = discovered[dkey]
+                if self.store.has(d_n, d_canon):
+                    continue
+                if self.store.add_class(
+                    d_n, d_canon, rep_bits, witness, meta={"source": "engine"}
+                ):
+                    stats.store_new_classes += 1
+            self.store.flush()
 
         # Stage 4: deterministic merge back to input positions.
         t0 = time.perf_counter()
@@ -530,6 +646,56 @@ def classify_batch(
     elif overrides:
         raise TypeError("pass either options or keyword overrides, not both")
     return ClassificationEngine(options).classify(functions)
+
+
+def probe_known(
+    f: TruthTable,
+    known_bits: Iterable[int],
+    options: Optional[EngineOptions] = None,
+) -> Optional[Tuple[int, NpnTransform]]:
+    """Early-exit membership probe of ``f`` against known canonical keys.
+
+    Returns ``(canon_bits, witness)`` with ``witness.apply(f).bits ==
+    canon_bits`` on a hit, ``None`` on a miss or probe-budget bailout.
+    A miss never proves non-membership on its own — the candidate scan
+    is truncated at ``membership_cap`` — so callers fall back to
+    :func:`repro.core.canonical.canonical_form`.
+    """
+    opts = options or EngineOptions()
+    known = dict.fromkeys(known_bits)
+    if not known:
+        return None
+    stats = EngineStats()
+    try:
+        return _membership_probe(f, known, opts, stats)
+    except BudgetExceededError:
+        return None
+
+
+def store_lookup(
+    store: "ClassStore",
+    f: TruthTable,
+    options: Optional[EngineOptions] = None,
+) -> Optional[Tuple[int, NpnTransform]]:
+    """Resolve ``f``'s canonical key through a persistent class store.
+
+    The warm path of single-function consumers (library binding, ``lib
+    query``): fetch the store's classes for ``f``'s coarse pre-key —
+    one shard read — then try exact representative/canonical matches
+    and finally the membership probe.  Returns ``(canon_bits, t)`` with
+    ``t.apply(f).bits == canon_bits``, or ``None`` when the store
+    cannot resolve ``f`` (unknown class *or* probe bailout); the caller
+    decides whether to canonicalize cold.
+    """
+    records = store.warm_records(f.n, coarse_prekey(f))
+    if not records:
+        return None
+    for record in records:
+        if record.rep_bits == f.bits:
+            return record.canon_bits, record.transform
+        if record.canon_bits == f.bits:
+            return record.canon_bits, NpnTransform.identity(f.n)
+    return probe_known(f, [r.canon_bits for r in records], options)
 
 
 def npn_class_count_engine(n: int, options: Optional[EngineOptions] = None) -> int:

@@ -1,6 +1,24 @@
-"""Technology-mapping application layer: cells and npn-indexed binding."""
+"""Technology-mapping application layer: cells and npn-indexed binding.
 
-from repro.library.cells import LibraryCell, cells_by_name, default_cells
+Binding resolves through precomputed canonical keys and witness replay;
+attach a :class:`repro.store.ClassStore` (``CellLibrary(store=...)`` or
+``CellLibrary.from_store``) to resolve target keys from disk instead of
+canonicalizing per bind.
+"""
+
+from repro.library.cells import (
+    LibraryCell,
+    build_cell_index,
+    cells_by_name,
+    default_cells,
+)
 from repro.library.techmap import Binding, CellLibrary
 
-__all__ = ["Binding", "CellLibrary", "LibraryCell", "cells_by_name", "default_cells"]
+__all__ = [
+    "Binding",
+    "CellLibrary",
+    "LibraryCell",
+    "build_cell_index",
+    "cells_by_name",
+    "default_cells",
+]

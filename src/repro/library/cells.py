@@ -10,9 +10,10 @@ few wide/XOR cells that exercise the matcher's hard paths).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.boolfunc import ops
+from repro.boolfunc.transform import NpnTransform
 from repro.boolfunc.truthtable import TruthTable
 
 
@@ -74,3 +75,35 @@ def default_cells() -> List[LibraryCell]:
 
 def cells_by_name() -> Dict[str, LibraryCell]:
     return {cell.name: cell for cell in default_cells()}
+
+
+# Index entry: a cell plus the witness canonicalizing it, i.e.
+# ``witness.apply(cell.function).bits == canon_bits`` for the class key
+# the entry is filed under.
+CellEntry = Tuple[LibraryCell, NpnTransform]
+CellIndex = Dict[Tuple[int, int], List[CellEntry]]
+
+
+def build_cell_index(
+    cells: Sequence[LibraryCell],
+    canonicalize=None,
+) -> CellIndex:
+    """Canonicalize every cell once into ``(n, canon_bits) -> entries``.
+
+    This is the library's whole matching precomputation — the paper's
+    "computed beforehand" set: binding later needs only the *target's*
+    canonical key, after which pin assignments come from witness
+    composition, never from a fresh matcher run.  Entries within a class
+    keep the cell-list order (stable, so area ties break the same way
+    everywhere).
+
+    ``canonicalize`` defaults to :func:`repro.core.canonical.canonical_form`
+    (injected in tests and by the store-warmed path).
+    """
+    if canonicalize is None:
+        from repro.core.canonical import canonical_form as canonicalize
+    index: CellIndex = {}
+    for cell in cells:
+        canon, witness = canonicalize(cell.function)
+        index.setdefault((cell.n_inputs, canon.bits), []).append((cell, witness))
+    return index

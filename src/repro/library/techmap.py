@@ -2,21 +2,43 @@
 
 A :class:`CellLibrary` precomputes, per cell, the GRM-driven canonical
 form — the paper's "for hard-to-match functions, the set of GRMs and
-their signatures are computed beforehand" — so that binding a target
-function is one canonicalization plus a hash lookup, with the full
-matcher invoked only to recover the pin assignment of the chosen cell.
+their signatures are computed beforehand" — and keeps the canonicalizing
+*witness* alongside each cell.  Binding a target function is then:
+
+1. one canonical-key resolution for the target — through the persistent
+   :class:`~repro.store.ClassStore` when one is attached (a single-shard
+   membership probe, no canonicalization), else ``canonical_form``;
+2. a hash lookup of the target's class among the cell classes;
+3. **witness replay** for the pin assignment: with ``t_f.apply(f) ==
+   canon`` and ``t_c.apply(cell) == canon``, the binding transform is
+   ``t_f⁻¹ ∘ t_c`` — pure transform composition, no matcher run at all.
+
+The pre-store behaviour (full :func:`repro.core.matcher.match` against
+every candidate cell) survives as :meth:`CellLibrary.bind_linear`, the
+baseline that benchmarks and parity tests compare against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.boolfunc.transform import NpnTransform
 from repro.boolfunc.truthtable import TruthTable
 from repro.core.canonical import canonical_form
 from repro.core.matcher import match
-from repro.library.cells import LibraryCell, default_cells
+from repro.engine.classifier import store_lookup
+from repro.library.cells import (
+    CellIndex,
+    LibraryCell,
+    build_cell_index,
+    default_cells,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.store import ClassStore
+
+CELL_CLASS_KIND = "cell-class"
 
 
 @dataclass(frozen=True)
@@ -36,32 +58,175 @@ class Binding:
 
 
 class CellLibrary:
-    """An npn-indexed cell library."""
+    """An npn-indexed cell library.
 
-    def __init__(self, cells: Optional[Sequence[LibraryCell]] = None):
-        self.cells: List[LibraryCell] = list(cells) if cells is not None else default_cells()
-        self._index: Dict[int, Dict[int, List[LibraryCell]]] = {}
-        for cell in self.cells:
-            canon, _ = canonical_form(cell.function)
-            per_n = self._index.setdefault(cell.n_inputs, {})
-            per_n.setdefault(canon.bits, []).append(cell)
+    ``store`` attaches a persistent class store used to resolve target
+    canonical keys warm (see :func:`repro.engine.store_lookup`); without
+    one, every bind pays a fresh canonicalization of the target.
+    """
+
+    def __init__(
+        self,
+        cells: Optional[Sequence[LibraryCell]] = None,
+        store: Optional["ClassStore"] = None,
+        _index: Optional[CellIndex] = None,
+    ):
+        self.cells: List[LibraryCell] = (
+            list(cells) if cells is not None else default_cells()
+        )
+        self._store = store
+        self._index: CellIndex = (
+            _index if _index is not None else build_cell_index(self.cells)
+        )
+
+    # -- persistent index -----------------------------------------------
+
+    def attach_store(self, store: Optional["ClassStore"]) -> None:
+        """Attach (or detach, with None) the warm-lookup store."""
+        self._store = store
+
+    def build_store(self, store: "ClassStore") -> int:
+        """Write the library's class index into a persistent store.
+
+        One record per cell class; the metadata lists every member cell
+        with its canonicalizing witness, so :meth:`from_store` can
+        rebuild the whole index with zero canonicalizations.  Returns
+        the number of records the store accepted as new or changed (a
+        rebuild over an unchanged library is a no-op).
+        """
+        changed = 0
+        for (n, canon_bits), entries in sorted(self._index.items()):
+            rep_cell, rep_witness = entries[0]
+            meta = {
+                "kind": CELL_CLASS_KIND,
+                "cells": [
+                    {
+                        "name": cell.name,
+                        "area": cell.area,
+                        "w": [list(w.perm), w.input_neg, int(w.output_neg)],
+                    }
+                    for cell, w in entries
+                ],
+            }
+            if store.add_class(
+                n,
+                canon_bits,
+                rep_cell.function.bits,
+                (rep_witness.perm, rep_witness.input_neg, rep_witness.output_neg),
+                meta=meta,
+            ):
+                changed += 1
+        store.flush()
+        return changed
+
+    @classmethod
+    def from_store(
+        cls,
+        store: "ClassStore",
+        cells: Optional[Sequence[LibraryCell]] = None,
+    ) -> "CellLibrary":
+        """Rebuild a library from a store's cell-class records.
+
+        No canonicalization happens: each recorded witness is replayed
+        against the named cell's function and must reproduce the
+        record's canonical bits — a cheap integrity check that catches
+        a cell library drifting out from under a stale store (raises
+        :class:`repro.store.StoreError`).
+        """
+        from repro.store.errors import StoreError
+
+        cell_list = list(cells) if cells is not None else default_cells()
+        by_name = {cell.name: cell for cell in cell_list}
+        index: CellIndex = {}
+        seen: set = set()
+        for record in store.records():
+            meta = record.meta
+            if meta.get("kind") != CELL_CLASS_KIND:
+                continue
+            entries = []
+            for item in meta.get("cells", []):
+                cell = by_name.get(item["name"])
+                if cell is None:
+                    raise StoreError(
+                        f"store references unknown cell {item['name']!r}; "
+                        "rebuild the store against the current library"
+                    )
+                perm, neg, out = item["w"]
+                witness = NpnTransform(tuple(perm), neg, bool(out))
+                if witness.apply(cell.function).bits != record.canon_bits:
+                    raise StoreError(
+                        f"stored witness for cell {cell.name!r} does not "
+                        "reproduce its class key; the cell library changed — "
+                        "rebuild the store"
+                    )
+                entries.append((cell, witness))
+                seen.add(cell.name)
+            index[(record.n, record.canon_bits)] = entries
+        missing = sorted(set(by_name) - seen)
+        if missing:
+            raise StoreError(
+                f"store has no class records for cells {missing}; "
+                "rebuild the store against the current library"
+            )
+        return cls(cells=cell_list, store=store, _index=index)
+
+    # -- matching -------------------------------------------------------
+
+    def _target_key(self, f: TruthTable) -> Tuple[int, Optional[NpnTransform]]:
+        """``(canon_bits, t_f)`` with ``t_f.apply(f).bits == canon_bits``.
+
+        Resolved through the attached store when possible; a store miss
+        (unknown class or probe bailout) falls back to canonicalizing.
+        """
+        if self._store is not None:
+            hit = store_lookup(self._store, f)
+            if hit is not None:
+                return hit
+        canon, t_f = canonical_form(f)
+        return canon.bits, t_f
 
     def matchable_cells(self, f: TruthTable) -> List[LibraryCell]:
-        """All cells npn-equivalent to ``f`` (canonical-form lookup)."""
-        per_n = self._index.get(f.n)
-        if not per_n:
+        """All cells npn-equivalent to ``f`` (canonical-key lookup)."""
+        if not self._has_width(f.n):
             return []
-        canon, _ = canonical_form(f)
-        return list(per_n.get(canon.bits, ()))
+        canon_bits, _ = self._target_key(f)
+        return [cell for cell, _ in self._index.get((f.n, canon_bits), ())]
+
+    def _has_width(self, n: int) -> bool:
+        return any(key_n == n for key_n, _ in self._index)
 
     def bind(self, f: TruthTable) -> Optional[Binding]:
         """Bind ``f`` to the cheapest matching cell and recover pins.
 
         Cheapest = smallest cell area, then fewest implied inverters.
+        The pin assignment is witness replay — ``t_f⁻¹ ∘ t_cell`` — so
+        no matcher invocation happens on the bind path at all.
         """
-        candidates = self.matchable_cells(f)
+        if not self._has_width(f.n):
+            return None
+        canon_bits, t_f = self._target_key(f)
+        entries = self._index.get((f.n, canon_bits))
+        if not entries:
+            return None
+        inv_f = t_f.invert()
         best: Optional[Binding] = None
-        for cell in sorted(candidates, key=lambda c: c.area):
+        for cell, t_cell in sorted(entries, key=lambda e: e[0].area):
+            binding = Binding(cell, inv_f.compose(t_cell))
+            if (
+                best is None
+                or (binding.cell.area, binding.inverter_count())
+                < (best.cell.area, best.inverter_count())
+            ):
+                best = binding
+        return best
+
+    def bind_linear(self, f: TruthTable) -> Optional[Binding]:
+        """The pre-store baseline: canonicalize the target, then run the
+        full matcher against every candidate cell.  Kept for parity
+        tests and benchmarks — same selection rule as :meth:`bind`."""
+        per_class = self._index.get((f.n, canonical_form(f)[0].bits)) if self._has_width(f.n) else None
+        best: Optional[Binding] = None
+        for cell, _ in sorted(per_class or (), key=lambda e: e[0].area):
             transform = match(cell.function, f)
             if transform is None:  # pragma: no cover - index guarantees a match
                 continue
@@ -75,5 +240,18 @@ class CellLibrary:
         return best
 
     def bind_all(self, functions: Sequence[TruthTable]) -> List[Optional[Binding]]:
-        """Bind a batch of functions (the mapping inner loop)."""
-        return [self.bind(f) for f in functions]
+        """Bind a batch of functions (the mapping inner loop).
+
+        Identical input functions are bound once: results are memoized
+        by exact identity ``(n, bits)`` within the call, so the repeated
+        sub-functions a mapper extracts from a real netlist pay one
+        canonical-key resolution, not one per occurrence.
+        """
+        memo: Dict[Tuple[int, int], Optional[Binding]] = {}
+        out: List[Optional[Binding]] = []
+        for f in functions:
+            key = (f.n, f.bits)
+            if key not in memo:
+                memo[key] = self.bind(f)
+            out.append(memo[key])
+        return out

@@ -1,0 +1,189 @@
+"""Shard segment I/O: append-only JSONL with paranoid, race-safe loads.
+
+One shard is a pair of files in the store's ``shards/`` directory::
+
+    shard-00a3.jsonl      the segment: StoreRecord lines + one footer line
+    shard-00a3.idx.json   the index: record/class counts for fast stats
+
+**All integrity metadata lives inside the segment itself**, as a final
+footer line carrying the record count and the CRC-32 of every byte
+before it.  Segments are replaced atomically (staged as a temp file in
+the same directory, fsynced, ``os.replace``d), so a reader always sees
+one internally consistent segment — there is no two-file ordering race
+to reason about.  The index is a derived stats cache: loads never
+consult it, ``stats()`` serves from it, and a stale one (a reader
+catching the instant between segment and index renames) can at worst
+make a *summary* momentarily off by a flush, never a query.
+
+What raises :class:`~repro.store.errors.StoreCorruptionError`:
+
+* a segment that does not end in a newline (a torn tail write),
+* a missing or unparseable footer (truncation, including truncation at
+  a line boundary — the footer is the last line, so cutting whole
+  records cuts it too),
+* a footer whose CRC or count disagrees with the record bytes (bit
+  flips, spliced lines),
+* a record line that fails to parse or fails its own checksum,
+* an unparseable index file (only :meth:`ClassStore.verify` looks).
+
+Superseding: within a segment a later record with the same
+``(n, canon_bits)`` replaces an earlier one.  Appends therefore never
+rewrite history; :func:`compact_records` is the offline dedupe that
+drops shadowed lines and sorts the survivors for deterministic layout.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.store.errors import StoreCorruptionError
+from repro.store.records import StoreRecord
+
+INDEX_VERSION = 1
+FOOTER_VERSION = 1
+
+
+def segment_name(shard_id: int) -> str:
+    return f"shard-{shard_id:04x}.jsonl"
+
+
+def index_name(shard_id: int) -> str:
+    return f"shard-{shard_id:04x}.idx.json"
+
+
+def _crc_hex(data: bytes) -> str:
+    return format(zlib.crc32(data) & 0xFFFFFFFF, "08x")
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Stage-and-rename write; the destination is never partially written."""
+    tmp = path.parent / f".{path.name}.tmp-{os.getpid()}"
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def index_payload(records: Sequence[StoreRecord], segment_bytes: bytes) -> Dict:
+    by_n: Dict[str, int] = {}
+    for key_n, _ in {r.key for r in records}:
+        by_n[str(key_n)] = by_n.get(str(key_n), 0) + 1
+    return {
+        "version": INDEX_VERSION,
+        "crc": _crc_hex(segment_bytes),
+        "count": len(records),
+        "bytes": len(segment_bytes),
+        "classes": len({r.key for r in records}),
+        "by_n": by_n,
+    }
+
+
+def write_shard(shard_dir: Path, shard_id: int, records: Sequence[StoreRecord]) -> None:
+    """Atomically replace a shard's segment (records + footer), then
+    refresh its stats index.
+
+    An empty record list removes both files (a shard that compacted to
+    nothing should not linger as an empty segment).
+    """
+    seg = shard_dir / segment_name(shard_id)
+    idx = shard_dir / index_name(shard_id)
+    if not records:
+        for path in (seg, idx):
+            if path.exists():
+                path.unlink()
+        return
+    body = ("\n".join(r.to_line() for r in records) + "\n").encode("utf-8")
+    footer = {
+        "footer": FOOTER_VERSION,
+        "count": len(records),
+        "crc": _crc_hex(body),
+    }
+    data = body + (json.dumps(footer, sort_keys=True) + "\n").encode("utf-8")
+    _atomic_write(seg, data)
+    _atomic_write(
+        idx, (json.dumps(index_payload(records, data), sort_keys=True) + "\n").encode("utf-8")
+    )
+
+
+def read_index(shard_dir: Path, shard_id: int) -> Optional[Dict]:
+    """The shard's stats-index payload, or None when the shard has none.
+
+    May lag the segment by one in-flight flush; never used for loads.
+    """
+    idx = shard_dir / index_name(shard_id)
+    if not idx.exists():
+        return None
+    try:
+        payload = json.loads(idx.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise StoreCorruptionError(f"{idx.name}: unparseable index: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise StoreCorruptionError(f"{idx.name}: index is not a JSON object")
+    return payload
+
+
+def load_shard(shard_dir: Path, shard_id: int) -> List[StoreRecord]:
+    """Load and integrity-check one shard's records (segment order).
+
+    Verification is self-contained in the segment: footer presence,
+    footer CRC over the record bytes, footer count, and every record's
+    own checksum.  The stats index plays no part, so concurrent flushes
+    cannot produce false corruption reports.
+    """
+    seg = shard_dir / segment_name(shard_id)
+    if not seg.exists():
+        return []
+    data = seg.read_bytes()
+    if not data.endswith(b"\n"):
+        raise StoreCorruptionError(
+            f"{seg.name}: segment does not end in a newline (torn tail write)"
+        )
+    try:
+        lines = data.decode("utf-8").splitlines()
+    except UnicodeDecodeError as exc:
+        raise StoreCorruptionError(f"{seg.name}: undecodable segment: {exc}") from exc
+    footer_line = lines[-1]
+    try:
+        footer = json.loads(footer_line)
+    except json.JSONDecodeError as exc:
+        raise StoreCorruptionError(
+            f"{seg.name}: unparseable final line — segment truncated or torn: {exc}"
+        ) from exc
+    if not isinstance(footer, dict) or "footer" not in footer:
+        raise StoreCorruptionError(
+            f"{seg.name}: last line is not a segment footer "
+            "(truncated at a line boundary?)"
+        )
+    if footer.get("footer") != FOOTER_VERSION:
+        raise StoreCorruptionError(
+            f"{seg.name}: unsupported footer version {footer.get('footer')!r}"
+        )
+    body = data[: len(data) - len(footer_line.encode("utf-8")) - 1]
+    if footer.get("crc") != _crc_hex(body):
+        raise StoreCorruptionError(
+            f"{seg.name}: footer CRC mismatch — record bytes were altered"
+        )
+    record_lines = lines[:-1]
+    if footer.get("count") != len(record_lines):
+        raise StoreCorruptionError(
+            f"{seg.name}: segment holds {len(record_lines)} records but the "
+            f"footer claims {footer.get('count')} (truncated at a line boundary)"
+        )
+    return [
+        StoreRecord.from_line(line, where=f"{seg.name}:{lineno}")
+        for lineno, line in enumerate(record_lines, start=1)
+    ]
+
+
+def compact_records(records: Sequence[StoreRecord]) -> List[StoreRecord]:
+    """Drop superseded records (last write per class wins) and sort the
+    survivors by ``(n, canon_bits)`` for a deterministic layout."""
+    latest: Dict = {}
+    for record in records:
+        latest[record.key] = record
+    return [latest[key] for key in sorted(latest)]

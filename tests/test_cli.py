@@ -110,3 +110,71 @@ def test_unknown_file_type(tmp_path):
 def test_unknown_bench_output():
     with pytest.raises(SystemExit):
         load_circuit("bench:rd73:nope")
+
+
+def test_classify_stats_reports_cache_counters(capsys):
+    code, out = run_cli(capsys, "classify", "bench:cm138a", "--stats")
+    assert code == 0
+    assert "[cache:" in out
+    assert "evictions" in out
+
+
+def test_lib_build_query_stats_compact_workflow(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    code, out = run_cli(
+        capsys, "lib", "build", store,
+        "--random", "20", "--n", "3", "--seed", "1", "--shards", "8",
+    )
+    assert code == 0
+    assert "stored" in out
+
+    code, out = run_cli(
+        capsys, "lib", "query", store,
+        "--random", "20", "--n", "3", "--seed", "1", "--expect-hits",
+    )
+    assert code == 0
+    assert "20/20 warm hits" in out
+
+    code, out = run_cli(capsys, "lib", "query", store, "bench:9sym")
+    assert code == 0  # cold lookups are misses, not errors
+
+    code, out = run_cli(capsys, "lib", "stats", store, "--verify")
+    assert code == 0
+    assert "records" in out and "verify" in out
+
+    code, out = run_cli(capsys, "lib", "compact", store)
+    assert code == 0
+
+    code, out = run_cli(capsys, "lib", "stats", store, "--verify")
+    assert code == 0
+
+
+def test_lib_query_bind_shows_cell_bindings(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    code, _ = run_cli(capsys, "lib", "build", store, "--shards", "4")
+    assert code == 0
+    code, out = run_cli(
+        capsys, "lib", "query", store,
+        "--random", "6", "--n", "2", "--seed", "2", "--bind", "--expect-hits",
+    )
+    assert code == 0
+    assert "bind" in out
+
+
+def test_lib_query_expect_hits_fails_on_cold_store(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    code, _ = run_cli(
+        capsys, "lib", "build", store,
+        "--no-cells", "--random", "5", "--n", "3", "--seed", "1", "--shards", "4",
+    )
+    assert code == 0
+    code, out = run_cli(
+        capsys, "lib", "query", store,
+        "--random", "5", "--n", "5", "--seed", "9", "--expect-hits",
+    )
+    assert code == 1
+
+
+def test_lib_query_missing_store_errors(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["lib", "query", str(tmp_path / "nope"), "--random", "1"])

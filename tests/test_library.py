@@ -77,3 +77,78 @@ def test_custom_library():
     lib = CellLibrary([LibraryCell("ONLY", ops.xor_all(3), 2.0)])
     assert lib.bind(~ops.xor_all(3)) is not None
     assert lib.bind(ops.and_all(3)) is None
+
+
+# ----------------------------------------------------------------------
+# Persistent store integration
+# ----------------------------------------------------------------------
+
+from repro.store import ClassStore, StoreError  # noqa: E402
+
+
+def test_build_store_from_store_roundtrip(tmp_path):
+    lib = CellLibrary()
+    store = ClassStore(tmp_path / "cells", num_shards=8)
+    assert lib.build_store(store) > 0
+    assert lib.build_store(store) == 0  # idempotent rebuild
+    rebuilt = CellLibrary.from_store(store)
+    assert {c.name for c in rebuilt.cells} == {c.name for c in lib.cells}
+    assert sorted(rebuilt._index) == sorted(lib._index)
+
+
+def test_store_backed_bind_matches_linear_baseline(tmp_path, rng):
+    """Acceptance: witness-replay bind == full-matcher baseline, cost-wise,
+    over every cell class in the library (random targets per cell)."""
+    baseline = CellLibrary()
+    store = ClassStore(tmp_path / "cells", num_shards=8)
+    baseline.build_store(store)
+    warm = CellLibrary.from_store(store)
+
+    targets = []
+    for cell in default_cells():
+        for _ in range(4):
+            t = NpnTransform.random(cell.n_inputs, rng)
+            targets.append(t.apply(cell.function))
+    targets.append(TruthTable.from_minterms(4, [0, 3, 5, 6, 9, 11, 14]))
+    targets.append(TruthTable.parity(7))
+
+    for target in targets:
+        fast = warm.bind(target)
+        slow = baseline.bind_linear(target)
+        assert (fast is None) == (slow is None)
+        if fast is None:
+            continue
+        assert fast.cell.area == slow.cell.area
+        assert fast.transform.apply(fast.cell.function) == target
+        assert slow.transform.apply(slow.cell.function) == target
+
+
+def test_from_store_detects_library_drift(tmp_path):
+    CellLibrary().build_store(store := ClassStore(tmp_path / "cells", num_shards=4))
+    pruned = [c for c in default_cells() if c.name != "XOR2"]
+    with pytest.raises(StoreError, match="rebuild the store"):
+        CellLibrary.from_store(store, cells=pruned)
+    swapped = [
+        LibraryCell("XOR2", ops.and_all(2), c.area) if c.name == "XOR2" else c
+        for c in default_cells()
+    ]
+    with pytest.raises(StoreError, match="rebuild the store"):
+        CellLibrary.from_store(store, cells=swapped)
+
+
+def test_bind_all_memoizes_duplicate_functions(monkeypatch):
+    lib = CellLibrary()
+    resolved = []
+    orig = CellLibrary._target_key
+
+    def counting(self, f):
+        resolved.append((f.n, f.bits))
+        return orig(self, f)
+
+    monkeypatch.setattr(CellLibrary, "_target_key", counting)
+    f = ops.xor_all(2)
+    g = ~f
+    bindings = lib.bind_all([f, f, g, f, g, g])
+    assert len(resolved) == 2  # one key resolution per distinct function
+    assert all(b is not None for b in bindings)
+    assert bindings[0] is bindings[1] is bindings[3]

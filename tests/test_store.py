@@ -1,0 +1,399 @@
+"""Tests for the persistent sharded NPN class store.
+
+Covers the ISSUE-3 acceptance surface: full round-trip fidelity
+(build -> close -> reopen -> query equals in-memory classification on
+the complete n<=3 space plus the regression corpus), corrupted-shard
+detection (truncation and bit flips must raise, never mis-answer),
+concurrent-reader safety across atomic flushes, engine warm starts,
+and store-backed library binding parity with the linear-scan baseline.
+"""
+
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.boolfunc.transform import NpnTransform
+from repro.boolfunc.truthtable import TruthTable
+from repro.core.canonical import canonical_form
+from repro.engine import (
+    ClassificationEngine,
+    EngineOptions,
+    classify_batch,
+    coarse_prekey,
+    probe_known,
+    store_lookup,
+)
+from repro.store import ClassStore, StoreCorruptionError, StoreError, StoreRecord
+from repro.store.records import encode_prekey
+from repro.testing import corpus as corpus_mod
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+def small_space():
+    """Every function on n <= 3 variables plus the regression corpus."""
+    funcs = []
+    for n in range(4):
+        funcs.extend(TruthTable(n, bits) for bits in range(1 << (1 << n)))
+    for witness in corpus_mod.load_corpus(CORPUS_DIR):
+        funcs.append(witness.f)
+        funcs.append(witness.g)
+    return funcs
+
+
+def add_function(store, f, meta=None):
+    canon, t = canonical_form(f)
+    return store.add_class(
+        f.n, canon.bits, f.bits, (t.perm, t.input_neg, t.output_neg), meta=meta
+    )
+
+
+# ----------------------------------------------------------------------
+# Record format
+# ----------------------------------------------------------------------
+
+class TestRecords:
+    def test_line_round_trip(self):
+        record = StoreRecord(
+            n=2,
+            canon_bits=0x8,
+            rep_bits=0xE,
+            witness=((1, 0), 0b10, True),
+            prekey=encode_prekey(coarse_prekey(TruthTable(2, 0x8))),
+            meta={"source": "test"},
+        )
+        back = StoreRecord.from_line(record.to_line())
+        assert back == record
+        assert back.transform == NpnTransform((1, 0), 0b10, True)
+
+    def test_checksum_rejects_tampering(self):
+        record = StoreRecord(
+            n=1, canon_bits=1, rep_bits=2, witness=((0,), 1, False), prekey="[1]"
+        )
+        line = record.to_line()
+        tampered = line.replace('"r":"2"', '"r":"3"')
+        assert tampered != line
+        with pytest.raises(StoreCorruptionError, match="checksum"):
+            StoreRecord.from_line(tampered)
+
+    def test_witness_verification(self):
+        f = TruthTable(3, 0xE8)
+        canon, t = canonical_form(f)
+        good = StoreRecord(
+            n=3,
+            canon_bits=canon.bits,
+            rep_bits=f.bits,
+            witness=(t.perm, t.input_neg, t.output_neg),
+            prekey="x",
+        )
+        assert good.verify_witness()
+        bad = StoreRecord(
+            n=3, canon_bits=canon.bits ^ 1, rep_bits=f.bits,
+            witness=(t.perm, t.input_neg, t.output_neg), prekey="x",
+        )
+        assert not bad.verify_witness()
+
+
+# ----------------------------------------------------------------------
+# Store round trip
+# ----------------------------------------------------------------------
+
+class TestRoundTrip:
+    def test_full_small_space_round_trip(self, tmp_path):
+        """build -> close -> reopen -> query == in-memory classification."""
+        funcs = small_space()
+        baseline = classify_batch(funcs)
+
+        store = ClassStore(tmp_path / "s", num_shards=16)
+        engine = ClassificationEngine(store=store)
+        built = engine.classify(funcs)
+        assert built.members == baseline.members
+        store.close()
+
+        reopened = ClassStore(tmp_path / "s", create=False)
+        warm_engine = ClassificationEngine(store=reopened)
+        warm = warm_engine.classify(
+            [TruthTable(f.n, f.bits) for f in funcs]
+        )
+        assert warm.members == baseline.members
+        assert warm.stats.store_seeded > 0
+        assert warm.stats.store_hits > 0
+        assert warm.stats.store_new_classes == 0
+        # Every non-quarantined class must be resolvable per-function too.
+        for key in baseline.members:
+            if key.quarantined:
+                continue
+            hit = store_lookup(reopened, TruthTable(key.n, key.key))
+            assert hit is not None
+            canon_bits, t = hit
+            assert canon_bits == key.key
+            assert t.apply(TruthTable(key.n, key.key)).bits == canon_bits
+
+    def test_warm_start_skips_canonicalization(self, tmp_path):
+        import random
+
+        rng = random.Random(5)
+        pool = [TruthTable.random(4, rng) for _ in range(8)]
+        batch = [
+            NpnTransform.random(4, rng).apply(rng.choice(pool)) for _ in range(80)
+        ]
+        with ClassStore(tmp_path / "s") as store:
+            cold = ClassificationEngine(store=store).classify(batch)
+            assert cold.stats.canonicalizations > 0
+        warm_store = ClassStore(tmp_path / "s", create=False)
+        warm = ClassificationEngine(store=warm_store).classify(
+            [TruthTable(f.n, f.bits) for f in batch]
+        )
+        assert warm.members == cold.members
+        assert warm.stats.canonicalizations == 0
+        assert warm.stats.store_hits == warm.stats.distinct_functions
+
+    def test_parallel_workers_with_warm_store(self, tmp_path):
+        import random
+
+        rng = random.Random(6)
+        batch = [TruthTable.random(3, rng) for _ in range(60)]
+        with ClassStore(tmp_path / "s") as store:
+            cold = ClassificationEngine(store=store).classify(batch)
+        warm_store = ClassStore(tmp_path / "s", create=False)
+        warm = ClassificationEngine(
+            EngineOptions(workers=2), store=warm_store
+        ).classify([TruthTable(f.n, f.bits) for f in batch])
+        assert warm.members == cold.members
+        assert warm.stats.store_hits > 0
+
+    def test_add_is_idempotent_and_supersede_wins(self, tmp_path):
+        store = ClassStore(tmp_path / "s", num_shards=4)
+        f = TruthTable(2, 0b1000)
+        assert add_function(store, f, meta={"v": 1})
+        assert not add_function(store, f, meta={"v": 1})  # identical fact
+        assert add_function(store, f, meta={"v": 2})  # supersedes
+        store.flush()
+        canon_bits = canonical_form(f)[0].bits
+        assert store.get(2, canon_bits).meta == {"v": 2}
+        result = store.compact()
+        assert result["records_after"] < result["records_before"]
+        reopened = ClassStore(tmp_path / "s", create=False)
+        assert reopened.get(2, canon_bits).meta == {"v": 2}
+
+    def test_rejects_bad_witness(self, tmp_path):
+        store = ClassStore(tmp_path / "s")
+        with pytest.raises(StoreError, match="witness"):
+            store.add_class(2, 0b1000, 0b1110, ((0, 1), 0, False))
+
+    def test_open_missing_store(self, tmp_path):
+        with pytest.raises(StoreError, match="not a class store"):
+            ClassStore(tmp_path / "absent", create=False)
+
+    def test_stats_from_indexes(self, tmp_path):
+        store = ClassStore(tmp_path / "s", num_shards=4)
+        for bits in range(1, 16):
+            add_function(store, TruthTable(2, bits))
+        store.flush()
+        st = ClassStore(tmp_path / "s", create=False).stats()
+        assert st["records"] >= st["classes"] > 0
+        assert st["classes_by_n"] == {"2": st["classes"]}
+        assert st["bytes"] > 0
+
+
+# ----------------------------------------------------------------------
+# Corruption detection
+# ----------------------------------------------------------------------
+
+def populated_store(tmp_path, count=30):
+    import random
+
+    rng = random.Random(3)
+    store = ClassStore(tmp_path / "s", num_shards=2)
+    for _ in range(count):
+        add_function(store, TruthTable.random(3, rng))
+    store.flush()
+    return tmp_path / "s"
+
+
+def segments_of(store_path):
+    return sorted((store_path / "shards").glob("shard-*.jsonl"))
+
+
+class TestCorruption:
+    def test_truncated_segment_raises(self, tmp_path):
+        path = populated_store(tmp_path)
+        seg = segments_of(path)[0]
+        seg.write_bytes(seg.read_bytes()[:-10])  # tear the tail
+        with pytest.raises(StoreCorruptionError):
+            ClassStore(path, create=False).verify()
+
+    def test_line_boundary_truncation_raises(self, tmp_path):
+        """Dropping whole trailing lines removes the footer line too."""
+        path = populated_store(tmp_path)
+        seg = max(segments_of(path), key=lambda p: len(p.read_bytes()))
+        lines = seg.read_bytes().splitlines(keepends=True)
+        assert len(lines) >= 2
+        seg.write_bytes(b"".join(lines[:-1]))
+        with pytest.raises(StoreCorruptionError, match="footer|truncated"):
+            ClassStore(path, create=False).verify()
+
+    def test_bit_flip_raises(self, tmp_path):
+        path = populated_store(tmp_path)
+        seg = segments_of(path)[0]
+        data = bytearray(seg.read_bytes())
+        # Flip a bit inside a hex digit of the first record's payload.
+        pos = data.index(b'"c":"') + 5
+        data[pos] ^= 0x01
+        seg.write_bytes(bytes(data))
+        with pytest.raises(StoreCorruptionError, match="checksum|CRC|unparseable"):
+            ClassStore(path, create=False).verify()
+
+    def test_corrupt_shard_never_answers_queries(self, tmp_path):
+        path = populated_store(tmp_path)
+        for seg in segments_of(path):
+            seg.write_bytes(seg.read_bytes()[:-4])
+        store = ClassStore(path, create=False)
+        with pytest.raises(StoreCorruptionError):
+            store.warm_records(3, None)
+
+    def test_unparseable_index_raises(self, tmp_path):
+        path = populated_store(tmp_path)
+        idx = sorted((path / "shards").glob("*.idx.json"))[0]
+        idx.write_text("{not json")
+        with pytest.raises(StoreCorruptionError, match="index"):
+            ClassStore(path, create=False).verify()
+
+    def test_stale_index_from_concurrent_flush_is_tolerated(self, tmp_path):
+        """new segment + old index = mid-flush reader view, not corruption."""
+        path = populated_store(tmp_path)
+        old_indexes = {
+            idx: idx.read_text() for idx in (path / "shards").glob("*.idx.json")
+        }
+        # Append one more valid record (as a newer flush would), then roll
+        # every index back to its pre-flush content.
+        store = ClassStore(path, create=False)
+        add_function(store, TruthTable(3, 0x96))
+        store.flush()
+        for idx, text in old_indexes.items():
+            idx.write_text(text)
+        fresh = ClassStore(path, create=False)
+        assert fresh.verify() > 0
+
+    def test_reindex_recovers_missing_index(self, tmp_path):
+        path = populated_store(tmp_path)
+        for idx in (path / "shards").glob("*.idx.json"):
+            idx.unlink()
+        store = ClassStore(path, create=False)
+        assert store.reindex() > 0
+        assert ClassStore(path, create=False).verify() > 0
+
+
+# ----------------------------------------------------------------------
+# Concurrent readers
+# ----------------------------------------------------------------------
+
+class TestConcurrency:
+    def test_readers_see_complete_snapshots_during_writes(self, tmp_path):
+        import random
+
+        rng = random.Random(9)
+        path = tmp_path / "s"
+        writer_store = ClassStore(path, num_shards=4)
+        seed_funcs = [TruthTable.random(3, rng) for _ in range(10)]
+        for f in seed_funcs:
+            add_function(writer_store, f)
+        writer_store.flush()
+        initial_keys = {r.key for r in ClassStore(path, create=False).records()}
+
+        errors = []
+        observed = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    snapshot = ClassStore(path, create=False)
+                    keys = {r.key for r in snapshot.records()}
+                    for record in snapshot.records():
+                        assert record.verify_witness()
+                    observed.append(keys)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(25):
+                add_function(writer_store, TruthTable.random(3, rng))
+                writer_store.flush()
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert not errors, errors
+        final_keys = {r.key for r in ClassStore(path, create=False).records()}
+        assert observed
+        for keys in observed:
+            # Snapshot isolation: every view is between the initial and
+            # final states, never a torn in-between of one flush.
+            assert initial_keys <= keys <= final_keys
+
+    def test_same_instance_reads_during_writes(self, tmp_path):
+        import random
+
+        rng = random.Random(12)
+        store = ClassStore(tmp_path / "s", num_shards=4)
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    for record in store.records():
+                        assert record.n == 3
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for _ in range(40):
+                add_function(store, TruthTable.random(3, rng))
+            store.flush()
+        finally:
+            stop.set()
+            thread.join()
+        assert not errors, errors
+
+
+# ----------------------------------------------------------------------
+# Warm single-function lookups
+# ----------------------------------------------------------------------
+
+class TestStoreLookup:
+    def test_lookup_returns_valid_witness(self, tmp_path):
+        import random
+
+        rng = random.Random(21)
+        store = ClassStore(tmp_path / "s")
+        base = [TruthTable.random(4, rng) for _ in range(6)]
+        for f in base:
+            add_function(store, f)
+        store.flush()
+        for f in base:
+            for _ in range(4):
+                g = NpnTransform.random(4, rng).apply(f)
+                hit = store_lookup(store, g)
+                if hit is None:  # probe bailout is allowed, wrongness is not
+                    continue
+                canon_bits, t = hit
+                assert t.apply(g).bits == canon_bits
+                assert canon_bits == canonical_form(g)[0].bits
+
+    def test_lookup_miss_on_unknown_class(self, tmp_path):
+        store = ClassStore(tmp_path / "s")
+        add_function(store, TruthTable(2, 0b0110))
+        store.flush()
+        assert store_lookup(store, TruthTable(2, 0b1000)) is None
+
+    def test_probe_known_empty(self):
+        assert probe_known(TruthTable(2, 0b0110), []) is None
