@@ -41,6 +41,8 @@ from repro.boolfunc.truthtable import TruthTable
 from repro.core.canonical import canonical_form
 from repro.engine import ClassificationEngine, EngineOptions, classify_batch
 from repro.grm.transform import fprm_coefficients
+from repro.obs import runtime as obs_runtime
+from repro.obs.metrics import MetricsRegistry
 
 POOL_SIZE = 64
 N_VARS = 5
@@ -197,6 +199,17 @@ def main(argv=None) -> int:
             "classes": count,
         }
         print(f"npn_space_n4: {count} classes in {t_n4:.3f}s")
+
+    # -- metrics snapshot -------------------------------------------------
+    # One extra instrumented pass over the repeated-classes batch, kept
+    # out of the timed scenarios so observability cannot skew them.
+    registry = MetricsRegistry()
+    obs_runtime.enable(metrics=registry)
+    try:
+        run_engine(batch)
+    finally:
+        obs_runtime.disable()
+    report["metrics_snapshot"] = registry.snapshot()
 
     out = Path(args.out) if args.out else Path(__file__).resolve().parents[1] / "BENCH_classify.json"
     out.write_text(json.dumps(report, indent=2) + "\n")

@@ -1,0 +1,250 @@
+"""Observability overhead benchmark: what does instrumentation cost?
+
+Standalone (argparse, no pytest) so CI can run it as a smoke step::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py --quick
+
+Three measurements:
+
+* ``disabled_primitives`` — per-call nanosecond cost of every hook in
+  its disabled state (``scoped_timer``, ``@timed``, ``NULL_TRACER``
+  span/event).  These are the only things instrumented code pays when
+  observability is off.
+* ``classify`` — the engine's repeated-classes microbenchmark run with
+  observability off, with metrics only, and with metrics + a full
+  ``TRACE_DETAIL`` tracer into a ``NullSink``.  The enabled deltas are
+  the honest price of turning the layer on.
+* ``disabled_overhead_pct`` — the disabled-mode cost estimate for the
+  classify run: instrumentation sites actually hit (counted from the
+  enabled run's own registry) times the measured per-site disabled
+  cost, as a percentage of the disabled wall time.  The CI guardrail
+  asserts this stays under 5%.
+
+Results are written to ``BENCH_obs.json`` (override with ``--out``),
+including the enabled run's full metrics snapshot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.boolfunc.transform import NpnTransform
+from repro.boolfunc.truthtable import TruthTable
+from repro.engine import classify_batch
+from repro.grm.transform import fprm_coefficients
+from repro.obs import runtime as obs_runtime
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import scoped_timer, timed
+from repro.obs.trace import NULL_TRACER, NullSink, TRACE_DETAIL, Tracer
+
+POOL_SIZE = 32
+N_VARS = 5
+
+OVERHEAD_LIMIT_PCT = 5.0
+
+
+def make_batch(size: int, rng: random.Random):
+    pool = [TruthTable.random(N_VARS, rng) for _ in range(POOL_SIZE)]
+    batch = []
+    for _ in range(size):
+        f = rng.choice(pool)
+        if rng.random() < 0.5:
+            batch.append(NpnTransform.random(N_VARS, rng).apply(f))
+        else:
+            batch.append(f)
+    return batch
+
+
+def fresh_tables(batch):
+    return [TruthTable(f.n, f.bits) for f in batch]
+
+
+# ----------------------------------------------------------------------
+# Disabled-primitive microbenchmarks
+# ----------------------------------------------------------------------
+
+@timed("bench.noop")
+def _instrumented_noop():
+    return None
+
+
+def _uninstrumented_noop():
+    return None
+
+
+def bench_disabled_primitives(iters: int):
+    """Per-call cost (ns) of each hook while observability is off."""
+    assert not obs_runtime.enabled
+
+    def per_call(fn) -> float:
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            fn()
+        return (time.perf_counter() - t0) / iters * 1e9
+
+    def scoped():
+        with scoped_timer("bench.scope"):
+            pass
+
+    baseline_ns = per_call(_uninstrumented_noop)
+    return {
+        "iters": iters,
+        "baseline_call_ns": baseline_ns,
+        "scoped_timer_ns": per_call(scoped),
+        "timed_decorator_ns": max(0.0, per_call(_instrumented_noop) - baseline_ns),
+        "null_span_ns": per_call(lambda: NULL_TRACER.span("s")),
+        "null_event_ns": per_call(lambda: NULL_TRACER.event("e")),
+        "enabled_branch_ns": per_call(lambda: obs_runtime.enabled and None),
+    }
+
+
+# ----------------------------------------------------------------------
+# End-to-end classify under three observability states
+# ----------------------------------------------------------------------
+
+def run_classify(batch, trials: int) -> float:
+    best = float("inf")
+    for _ in range(trials):
+        fprm_coefficients.cache_clear()
+        tables = fresh_tables(batch)
+        t0 = time.perf_counter()
+        classify_batch(tables)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def site_count(registry: MetricsRegistry) -> int:
+    """Instrumentation sites the classify workload actually hits.
+
+    Counted from the enabled run's own registry: the ``@timed``
+    functions fire a handful of checks per call, every search node in
+    the matcher tests the detail gate a few times, and the engine adds
+    a fixed set of per-batch counters.  Deliberately generous — the
+    guardrail should overestimate the disabled cost, not flatter it.
+    """
+    canon_calls = registry.counter_value("canonical.canonical_form.calls")
+    match_calls = registry.counter_value("matcher.calls")
+    search_nodes = 0
+    for entry in registry.snapshot()["histograms"]:
+        if entry["name"] == "matcher.search_nodes":
+            search_nodes = int(entry["sum"])
+    engine_fixed = 64  # per-batch engine counter touches
+    return int(6 * (canon_calls + match_calls) + 3 * search_nodes + engine_fixed)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--size", type=int, default=2048, help="batch size")
+    ap.add_argument("--seed", type=int, default=7)
+    ap.add_argument("--trials", type=int, default=3, help="best-of trials")
+    ap.add_argument("--iters", type=int, default=200_000, help="primitive loop count")
+    ap.add_argument("--quick", action="store_true", help="small batch, fewer iters")
+    ap.add_argument("--out", default=None, help="JSON output path")
+    args = ap.parse_args(argv)
+
+    size = 256 if args.quick else args.size
+    trials = 1 if args.quick else args.trials
+    iters = 50_000 if args.quick else args.iters
+    rng = random.Random(args.seed)
+    obs_runtime.disable()
+
+    report = {
+        "benchmark": "bench_obs",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "batch_size": size,
+        "n_vars": N_VARS,
+        "seed": args.seed,
+        "trials": trials,
+        "overhead_limit_pct": OVERHEAD_LIMIT_PCT,
+    }
+
+    # -- disabled primitives ---------------------------------------------
+    prim = bench_disabled_primitives(iters)
+    report["disabled_primitives"] = prim
+    print(
+        "disabled primitives (ns/call): "
+        f"scoped_timer {prim['scoped_timer_ns']:.0f}, "
+        f"timed {prim['timed_decorator_ns']:.0f}, "
+        f"null span {prim['null_span_ns']:.0f}, "
+        f"null event {prim['null_event_ns']:.0f}"
+    )
+
+    # -- classify: off / metrics / metrics+trace --------------------------
+    batch = make_batch(size, rng)
+
+    t_off = run_classify(batch, trials)
+
+    registry = MetricsRegistry()
+    obs_runtime.enable(metrics=registry)
+    try:
+        t_metrics = run_classify(batch, trials)
+    finally:
+        obs_runtime.disable()
+
+    trace_registry = MetricsRegistry()
+    obs_runtime.enable(
+        trace=Tracer([NullSink()], level=TRACE_DETAIL), metrics=trace_registry
+    )
+    try:
+        t_traced = run_classify(batch, trials)
+    finally:
+        obs_runtime.disable()
+
+    sites = site_count(registry)
+    per_site_ns = max(
+        prim["scoped_timer_ns"],
+        prim["timed_decorator_ns"],
+        prim["null_span_ns"],
+        prim["null_event_ns"],
+        prim["enabled_branch_ns"],
+    )
+    disabled_overhead_pct = 100.0 * (sites * per_site_ns * 1e-9) / t_off
+
+    report["classify"] = {
+        "disabled_seconds": t_off,
+        "metrics_seconds": t_metrics,
+        "traced_seconds": t_traced,
+        "metrics_overhead_pct": 100.0 * (t_metrics - t_off) / t_off,
+        "traced_overhead_pct": 100.0 * (t_traced - t_off) / t_off,
+        "instrumentation_sites": sites,
+        "per_site_ns": per_site_ns,
+        "disabled_overhead_pct": disabled_overhead_pct,
+    }
+    report["metrics_snapshot"] = registry.snapshot()
+
+    print(
+        f"classify: off {t_off:.3f}s, metrics {t_metrics:.3f}s "
+        f"(+{report['classify']['metrics_overhead_pct']:.1f}%), "
+        f"traced {t_traced:.3f}s "
+        f"(+{report['classify']['traced_overhead_pct']:.1f}%)"
+    )
+    print(
+        f"disabled overhead: {sites} sites x {per_site_ns:.0f}ns = "
+        f"{disabled_overhead_pct:.3f}% of the disabled run "
+        f"(limit {OVERHEAD_LIMIT_PCT}%)"
+    )
+
+    out = Path(args.out) if args.out else Path(__file__).resolve().parents[1] / "BENCH_obs.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if disabled_overhead_pct >= OVERHEAD_LIMIT_PCT:
+        print(
+            f"FAIL: disabled-mode overhead {disabled_overhead_pct:.2f}% "
+            f">= {OVERHEAD_LIMIT_PCT}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

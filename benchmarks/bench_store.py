@@ -41,6 +41,8 @@ from repro.core.canonical import canonical_form
 from repro.engine import ClassificationEngine, EngineOptions, store_lookup
 from repro.grm.transform import fprm_coefficients
 from repro.library import CellLibrary, default_cells
+from repro.obs import runtime as obs_runtime
+from repro.obs.metrics import MetricsRegistry
 from repro.store import ClassStore
 
 N_VARS = 5
@@ -204,6 +206,21 @@ def main(argv=None) -> int:
             f"bind_parity: linear {t_linear:.3f}s store {t_store:.3f}s "
             f"speedup {t_linear / t_store:.2f}x ({bind_targets} targets)"
         )
+
+        # -- metrics snapshot ---------------------------------------------
+        # One extra instrumented warm pass + store maintenance, kept out
+        # of the timed scenarios so observability cannot skew them.
+        registry = MetricsRegistry()
+        obs_runtime.enable(metrics=registry)
+        try:
+            with ClassStore(store_path, create=False) as store:
+                classify_with_store(warm_batch, store)
+                store.verify()
+            with ClassStore(cell_store_path, create=False) as cell_store:
+                CellLibrary.from_store(cell_store).bind_all(fresh_tables(targets))
+        finally:
+            obs_runtime.disable()
+        report["metrics_snapshot"] = registry.snapshot()
 
     out = Path(args.out) if args.out else Path(__file__).resolve().parents[1] / "BENCH_store.json"
     out.write_text(json.dumps(report, indent=2) + "\n")

@@ -15,9 +15,16 @@ Subcommands::
     lib compact STORE          dedupe superseded store records
     table1 [NAMES...]          run the paper's Table 1 experiment
     bench-info NAME            describe a built-in benchmark circuit
+    obs report FILE            render a trace JSONL or metrics snapshot
 
 ``FILE`` is a ``.pla`` or ``.blif`` file, or ``bench:NAME[:OUTPUT]`` to
 reference a built-in benchmark circuit from the Table-1 suite.
+
+Global observability options (before the subcommand)::
+
+    --trace FILE       write a span/event trace (JSONL) of the run
+    --metrics FILE     write the metrics-registry snapshot (JSON)
+    --profile          print a timing profile table to stderr on exit
 """
 
 from __future__ import annotations
@@ -95,14 +102,27 @@ def cmd_match(args: argparse.Namespace) -> int:
     if a.table.n != b.table.n:
         print(f"not matchable: support sizes differ ({a.table.n} vs {b.table.n})")
         return 1
+    explanation = None
     start = time.perf_counter()
-    transform = match(a.table, b.table, allow_output_neg=not args.np_only)
+    if args.explain:
+        from repro.obs import render_match_explanation
+        from repro.obs import runtime as obs_runtime
+
+        with obs_runtime.capture() as (_registry, ring):
+            transform = match(a.table, b.table, allow_output_neg=not args.np_only)
+        explanation = render_match_explanation(ring.records())
+    else:
+        transform = match(a.table, b.table, allow_output_neg=not args.np_only)
     elapsed = (time.perf_counter() - start) * 1e3
     if transform is None:
         print(f"NOT equivalent ({elapsed:.2f} ms)")
+        if explanation:
+            print(explanation)
         return 1
     print(f"npn-equivalent ({elapsed:.2f} ms)")
     print("transform:", transform.describe())
+    if explanation:
+        print(explanation)
     return 0
 
 
@@ -444,6 +464,41 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    """Render a trace JSONL file or a metrics-snapshot JSON file.
+
+    Auto-detects the format from the first JSON line: a
+    ``metrics-snapshot`` object renders as counter tables, anything
+    else is treated as span/event records and rendered as a trace tree.
+    """
+    import json
+
+    from repro.obs import load_trace, render_metrics, render_trace_tree
+
+    path = Path(args.file)
+    if not path.exists():
+        raise SystemExit(f"error: no such file: {args.file}")
+    text = path.read_text()
+    if not text.strip():
+        print("(empty file)")
+        return 0
+    # A metrics snapshot is one (possibly pretty-printed) JSON object;
+    # a trace is one JSON record per line.
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        payload = None
+    if isinstance(payload, dict) and payload.get("kind") == "metrics-snapshot":
+        print(render_metrics(payload))
+        return 0
+    try:
+        records = load_trace(path)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    print(render_trace_tree(records))
+    return 0
+
+
 def cmd_bench_info(args: argparse.Namespace) -> int:
     spec = get_spec(args.name)
     circuit = build_circuit(args.name)
@@ -468,12 +523,35 @@ def build_parser() -> argparse.ArgumentParser:
         prog="grm-match",
         description="Boolean matching with Generalized Reed-Muller forms",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a span/event trace of the run as JSONL",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help="write the metrics-registry snapshot as JSON on exit",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a timing-profile table to stderr on exit",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("match", help="npn-match two single-output functions")
     p.add_argument("file_a")
     p.add_argument("file_b")
     p.add_argument("--np-only", action="store_true", help="disallow output negation")
+    p.add_argument(
+        "--explain",
+        action="store_true",
+        help="trace the run and print the signature-refinement and "
+        "prune-event explanation",
+    )
     p.set_defaults(func=cmd_match)
 
     p = sub.add_parser("verify", help="multi-output circuit correspondence")
@@ -643,12 +721,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=8)
     p.set_defaults(func=cmd_bench_info)
 
+    p = sub.add_parser(
+        "obs",
+        help="observability utilities",
+        description="Inspect artifacts produced by --trace / --metrics.",
+    )
+    obssub = p.add_subparsers(dest="obs_command", required=True)
+    q = obssub.add_parser(
+        "report", help="render a trace JSONL or metrics-snapshot JSON file"
+    )
+    q.add_argument("file")
+    q.set_defaults(func=cmd_obs_report)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    if not (args.trace or args.metrics or args.profile):
+        return args.func(args)
+    from repro.obs import MetricsRegistry
+    from repro.obs import runtime as obs_runtime
+    from repro.obs.trace import JsonlSink, TRACE_DETAIL, Tracer
+
+    tracer = None
+    if args.trace:
+        tracer = Tracer([JsonlSink(args.trace)], level=TRACE_DETAIL)
+    obs_runtime.enable(trace=tracer, metrics=MetricsRegistry())
+    try:
+        return args.func(args)
+    finally:
+        if args.metrics:
+            obs_runtime.registry.dump_json(args.metrics)
+        if args.profile:
+            from repro.obs import render_profile
+
+            print(render_profile(obs_runtime.registry), file=sys.stderr)
+        obs_runtime.disable()
 
 
 if __name__ == "__main__":

@@ -29,6 +29,7 @@ from repro.core.polarity import (
     phase_candidates,
 )
 from repro.grm.forms import Grm
+from repro.obs.profile import timed
 from repro.utils.partition import Partition
 
 __all__ = [
@@ -86,6 +87,7 @@ def _orderings(
     yield from rec(0, 0)
 
 
+@timed("canonical.canonical_form")
 def canonical_form(
     f: TruthTable,
     options: MatchOptions = DEFAULT_OPTIONS,

@@ -33,6 +33,9 @@ from repro.boolfunc.truthtable import TruthTable
 from repro.core import signatures as sigs_mod
 from repro.core import symmetry as sym_mod
 from repro.core.errors import MatchBudgetExceededError
+from repro.obs import runtime as _obs
+from repro.obs.profile import timed
+from repro.obs.trace import TRACE_DETAIL
 from repro.core.polarity import (
     PolarityDecision,
     decide_polarity,
@@ -85,6 +88,29 @@ class MatchStats:
     search_nodes: int = 0
     leaf_checks: int = 0
     hard_completions_tried: int = 0
+    assignment_prunes: int = 0
+    leaf_rejects: int = 0
+    symmetry_skips: int = 0
+    backtracks: int = 0
+    max_depth: int = 0
+
+
+# The paper's signature families, used to label prune events.  A
+# function-signature mismatch is attributed to every family whose
+# component(s) differ, so a trace shows *which* signature did the work.
+def _rejecting_families(
+    a: sigs_mod.FunctionSignature, b: sigs_mod.FunctionSignature
+) -> Tuple[str, ...]:
+    fams = []
+    if a.fw != b.fw or a.wd != b.wd:
+        fams.append("weights")
+    if a.fc != b.fc or a.fvc_multiset != b.fvc_multiset or a.num_cubes != b.num_cubes:
+        fams.append("vic")
+    if a.finc_multiset != b.finc_multiset:
+        fams.append("inc")
+    if a.pc != b.pc or a.pcv_multiset != b.pcv_multiset:
+        fams.append("primes")
+    return tuple(fams) or ("weights",)
 
 
 @dataclass
@@ -133,8 +159,17 @@ def _search_assignment(
 ) -> Optional[Tuple[int, ...]]:
     """Find a variable bijection mapping ``grm_f``'s cubes onto ``grm_g``'s."""
     n = grm_f.n
+    tr = _obs.tracer
+    detail = tr.wants(TRACE_DETAIL)
     if part_f.block_sizes() != part_g.block_sizes():
         stats.partition_rejects += 1
+        if detail:
+            tr.event(
+                "prune",
+                reason="partition_shape",
+                blocks_f=part_f.block_sizes(),
+                blocks_g=part_g.block_sizes(),
+            )
         return None
 
     block_of_f: Dict[int, int] = {}
@@ -176,6 +211,8 @@ def _search_assignment(
 
     def recurse(idx: int) -> Optional[Tuple[int, ...]]:
         stats.search_nodes += 1
+        if idx > stats.max_depth:
+            stats.max_depth = idx
         if idx == n:
             stats.leaf_checks += 1
             perm = tuple(sigma[i] for i in range(n))
@@ -187,6 +224,9 @@ def _search_assignment(
                 relabeled.add(m)
             if relabeled == set(cubes_g):
                 return perm
+            stats.leaf_rejects += 1
+            if detail:
+                tr.event("prune", reason="leaf_mismatch", perm=list(perm))
             return None
         i = order[idx]
         block = part_g.blocks[block_of_f[i]]
@@ -196,6 +236,11 @@ def _search_assignment(
                 continue
             gid = group_of[j]
             if gid in tried_groups:
+                stats.symmetry_skips += 1
+                if detail:
+                    tr.event(
+                        "prune", reason="symmetry_orbit", var=i, to=j, depth=idx
+                    )
                 continue
             tried_groups.add(gid)
             sigma[i] = j
@@ -205,8 +250,13 @@ def _search_assignment(
                 found = recurse(idx + 1)
                 if found is not None:
                     return found
+            else:
+                stats.assignment_prunes += 1
+                if detail:
+                    tr.event("prune", reason="projection", var=i, to=j, depth=idx)
             del sigma[i]
             assigned_g.remove(j)
+        stats.backtracks += 1
         return None
 
     return recurse(0)
@@ -240,10 +290,30 @@ def np_match(
         stats.grms_built += 1
         sig_f = sigs_mod.function_signature(ff, grm_f)
         part_f = _refined_partition(ff, grm_f, dec_f, options)
+        detail = _obs.tracer.wants(TRACE_DETAIL)
         for dec_g in decide_polarity(gg):
+            # Hard/vacuous variable counts are np-invariants of the
+            # polarity procedure (driven by cofactor-weight balance), so
+            # a mismatch is a weights-family rejection.
             if dec_f.num_hard() != dec_g.num_hard():
+                if detail:
+                    _obs.tracer.event(
+                        "prune",
+                        reason="function_signature",
+                        family="weights",
+                        stage="hard_count",
+                        hard_f=dec_f.num_hard(),
+                        hard_g=dec_g.num_hard(),
+                    )
                 continue
             if bitops.popcount(dec_f.vacuous_mask) != bitops.popcount(dec_g.vacuous_mask):
+                if detail:
+                    _obs.tracer.event(
+                        "prune",
+                        reason="function_signature",
+                        family="weights",
+                        stage="vacuous_count",
+                    )
                 continue
             for w in hard_completions(gg, dec_g, options.hard_enumeration_limit):
                 stats.hard_completions_tried += 1
@@ -253,6 +323,15 @@ def np_match(
                     sig_g = sigs_mod.function_signature(gg, grm_g)
                     if sig_g != sig_f:
                         stats.signature_rejects += 1
+                        tr = _obs.tracer
+                        if tr.wants(TRACE_DETAIL):
+                            for family in _rejecting_families(sig_f, sig_g):
+                                tr.event(
+                                    "prune",
+                                    reason="function_signature",
+                                    family=family,
+                                    polarity_g=w,
+                                )
                         continue
                 dec_g_w = PolarityDecision(
                     n=n,
@@ -299,6 +378,7 @@ class MatchOutcome:
         return self.transform
 
 
+@timed("matcher.match")
 def match_with_stats(
     f: TruthTable,
     g: TruthTable,
@@ -317,21 +397,74 @@ def match_with_stats(
             return MatchOutcome(NpnTransform((), 0, True), stats)
         return MatchOutcome(None, stats)
 
-    f_phases = phase_candidates(f) if allow_output_neg else [(f, False)]
-    g_phases = phase_candidates(g) if allow_output_neg else [(g, False)]
-    for ff, fo in f_phases:
-        for gg, go in g_phases:
-            if ff.count() != gg.count():
-                continue
-            if not allow_output_neg and (fo or go):
-                continue
-            stats.phase_pairs_tried += 1
-            t0 = np_match(ff, gg, options, stats)
-            if t0 is not None:
-                result = NpnTransform(t0.perm, t0.input_neg, fo ^ go)
-                if result.apply(f) == g:
-                    return MatchOutcome(result, stats)
-    return MatchOutcome(None, stats)
+    with _obs.tracer.span("match", n=n) as span:
+        outcome = None
+        f_phases = phase_candidates(f) if allow_output_neg else [(f, False)]
+        g_phases = phase_candidates(g) if allow_output_neg else [(g, False)]
+        detail = _obs.tracer.wants(TRACE_DETAIL)
+        for ff, fo in f_phases:
+            for gg, go in g_phases:
+                if ff.count() != gg.count():
+                    if detail:
+                        _obs.tracer.event(
+                            "prune",
+                            reason="function_signature",
+                            family="weights",
+                            stage="phase_weight",
+                            fw_f=ff.count(),
+                            fw_g=gg.count(),
+                        )
+                    continue
+                if not allow_output_neg and (fo or go):
+                    continue
+                stats.phase_pairs_tried += 1
+                t0 = np_match(ff, gg, options, stats)
+                if t0 is not None:
+                    result = NpnTransform(t0.perm, t0.input_neg, fo ^ go)
+                    if result.apply(f) == g:
+                        outcome = MatchOutcome(result, stats)
+                        break
+            if outcome is not None:
+                break
+        if outcome is None:
+            outcome = MatchOutcome(None, stats)
+        if span.recording:
+            span.set("matched", outcome.transform is not None)
+            span.set("search_nodes", stats.search_nodes)
+            span.set("signature_rejects", stats.signature_rejects)
+    if _obs.enabled:
+        _flush_match_metrics(stats, outcome.transform is not None)
+    return outcome
+
+
+_SEARCH_NODE_BUCKETS = (1, 10, 100, 1_000, 10_000, 100_000, 1_000_000)
+
+
+def _flush_match_metrics(stats: MatchStats, matched: bool) -> None:
+    """Ship one match call's counters into the global registry (enabled
+    mode only — the per-call MatchStats stays the zero-dependency path)."""
+    registry = _obs.registry
+    registry.counter("matcher.calls").inc()
+    if matched:
+        registry.counter("matcher.matches").inc()
+    registry.histogram("matcher.search_nodes", edges=_SEARCH_NODE_BUCKETS).observe(
+        stats.search_nodes
+    )
+    for field, value in (
+        ("phase_pairs_tried", stats.phase_pairs_tried),
+        ("grms_built", stats.grms_built),
+        ("signature_rejects", stats.signature_rejects),
+        ("partition_rejects", stats.partition_rejects),
+        ("search_nodes", stats.search_nodes),
+        ("leaf_checks", stats.leaf_checks),
+        ("leaf_rejects", stats.leaf_rejects),
+        ("hard_completions_tried", stats.hard_completions_tried),
+        ("assignment_prunes", stats.assignment_prunes),
+        ("symmetry_skips", stats.symmetry_skips),
+        ("backtracks", stats.backtracks),
+    ):
+        if value:
+            registry.counter("matcher." + field).inc(value)
 
 
 def is_npn_equivalent(f: TruthTable, g: TruthTable) -> bool:

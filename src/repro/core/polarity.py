@@ -42,6 +42,7 @@ from repro.boolfunc.truthtable import TruthTable
 from repro.core import symmetry as sym_mod
 from repro.core.errors import MatchBudgetExceededError
 from repro.grm.forms import Grm
+from repro.obs import runtime as _obs
 from repro.utils import bitops
 
 MAX_DECISIONS = 16
@@ -189,6 +190,12 @@ def decide_polarity(f: TruthTable) -> List[PolarityDecision]:
             finalize(pol, dec, rnds, linear)
 
     expand(polarity, decided, rounds, False)
+    if _obs.enabled:
+        registry = _obs.registry
+        registry.counter("polarity.decide_calls").inc()
+        registry.counter("polarity.branches").inc(len(results))
+        if any(r.used_linear for r in results):
+            registry.counter("polarity.linear_trick").inc()
     return results
 
 
@@ -257,6 +264,14 @@ def polarity_completions(
     for cls in classes:
         total *= len(cls) + 1
         if total > limit:
+            if _obs.enabled:
+                _obs.registry.counter("polarity.budget_exceeded").inc()
+                _obs.tracer.event(
+                    "prune",
+                    reason="completion_budget",
+                    hard_vars=len(hard_vars),
+                    limit=limit,
+                )
             raise MatchBudgetExceededError(
                 f"hard-variable completions ({total}+) exceed limit {limit}",
                 n=decision.n,
@@ -273,6 +288,12 @@ def polarity_completions(
                 ones |= 1 << v
                 expanded.append(pol | ones)
         completions = expanded
+    if _obs.enabled:
+        registry = _obs.registry
+        registry.counter("polarity.completion_requests").inc()
+        registry.counter("polarity.completions").inc(len(completions))
+        registry.counter("polarity.hard_variables").inc(len(hard_vars))
+        registry.counter("polarity.ne_classes").inc(len(classes))
     return completions
 
 

@@ -24,6 +24,8 @@ from typing import Optional, Sequence, Tuple
 from repro.boolfunc.truthtable import TruthTable
 from repro.core import primes as primes_mod
 from repro.grm.forms import Grm
+from repro.obs import runtime as _obs
+from repro.obs.trace import TRACE_DETAIL
 from repro.utils.partition import Partition
 
 
@@ -134,15 +136,31 @@ def refine_partition_with_grm(
     """
     sigs = variable_signatures(f, grm)
     fams = set(signature_families)
+    tr = _obs.tracer
+    detail = tr.wants(TRACE_DETAIL)
+
+    def _trace(family: str, split: bool) -> None:
+        tr.event(
+            "refine",
+            family=family,
+            split=split,
+            blocks=[list(b) for b in partition.blocks],
+        )
 
     if "weights" in fams:
-        partition.refine(lambda v: sigs.weight_pairs[v])
+        split = partition.refine(lambda v: sigs.weight_pairs[v])
+        if detail:
+            _trace("weights", split)
     if "vic" in fams:
-        partition.refine(lambda v: (sigs.fvc[v], sigs.vic_columns[v]))
+        split = partition.refine(lambda v: (sigs.fvc[v], sigs.vic_columns[v]))
+        if detail:
+            _trace("vic", split)
     if "primes" in fams:
-        partition.refine(lambda v: (sigs.pcv[v], sigs.pcvic_columns[v]))
+        split = partition.refine(lambda v: (sigs.pcv[v], sigs.pcvic_columns[v]))
+        if detail:
+            _trace("primes", split)
     if "inc" in fams:
-        partition.refine(lambda v: sigs.finc[v])
+        split = partition.refine(lambda v: sigs.finc[v])
         if inc_rounds is None:
             inc_rounds = 10**9 if use_incidence else 1
         inc = grm.incidence_matrix()
@@ -155,8 +173,12 @@ def refine_partition_with_grm(
                     for block in blocks_snapshot
                 )
 
-            if not partition.refine(inc_key):
+            round_split = partition.refine(inc_key)
+            split = split or round_split
+            if not round_split:
                 break
+        if detail:
+            _trace("inc", split)
     return partition
 
 

@@ -10,11 +10,16 @@ and stores ``(canon_bits, transform)`` where ``transform`` is the plain
   costs recomputation, never correctness;
 * the cache is per-process: parallel workers each hold their own, and
   merged results stay deterministic because the values are
-  content-derived, not order-derived.
+  content-derived, not order-derived;
+* concurrent access within a process is safe: a single lock guards the
+  OrderedDict mutation and the ``hits``/``misses``/``evictions``
+  counters together, so lookups from threads (the CLI's traced runs,
+  thread-pooled consumers) can never corrupt LRU order or drop counts.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
@@ -32,24 +37,27 @@ class CanonicalKeyCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._lock = threading.Lock()
         self._data: "OrderedDict[CacheKey, CacheValue]" = OrderedDict()
 
     def get(self, key: CacheKey) -> Optional[CacheValue]:
-        value = self._data.get(key)
-        if value is None:
-            self.misses += 1
-            return None
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: CacheKey, value: CacheValue) -> None:
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        if len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            if len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
 
     def __len__(self) -> int:
         return len(self._data)
@@ -58,8 +66,9 @@ class CanonicalKeyCache:
         return key in self._data
 
     def clear(self) -> None:
-        self._data.clear()
-        self.hits = self.misses = self.evictions = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = self.misses = self.evictions = 0
 
     @property
     def hit_rate(self) -> float:

@@ -72,6 +72,8 @@ from repro.core.matcher import MatchOptions, match
 from repro.core.polarity import phase_candidates
 from repro.engine.cache import CanonicalKeyCache
 from repro.engine.prekey import coarse_prekey, fine_prekey
+from repro.obs import runtime as _obs
+from repro.obs.metrics import MetricsRegistry
 from repro.utils import bitops
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store imports prekey)
@@ -127,7 +129,14 @@ class EngineOptions:
 
 @dataclass
 class EngineStats:
-    """Work counters and per-stage wall times of one engine run."""
+    """Work counters and per-stage wall times of one engine run.
+
+    Since the observability refactor this dataclass is a *snapshot
+    view*: the engine accumulates every counter in a registry
+    (:class:`repro.obs.MetricsRegistry`, namespaced ``engine.*``) so
+    worker snapshots merge exactly, and renders an ``EngineStats`` from
+    the merged registry when the batch completes.
+    """
 
     functions: int = 0
     distinct_functions: int = 0
@@ -160,6 +169,46 @@ class EngineStats:
 
     def as_dict(self) -> Dict[str, float]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class _EngineMetrics:
+    """Registry-backed counter plumbing for one classify run or worker.
+
+    Every counter lives under the ``engine.`` namespace of a private
+    :class:`MetricsRegistry`; worker processes ship their registry's
+    :meth:`snapshot` back to the parent, which merges them exactly.
+    :meth:`to_stats` renders the registry as the public
+    :class:`EngineStats` snapshot view.
+    """
+
+    PREFIX = "engine."
+    __slots__ = ("registry", "_counters")
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        # inc() runs per classified function; cache the Counter objects
+        # so the hot path is a dict get + add, not a registry lookup.
+        self._counters: Dict[str, object] = {}
+
+    def inc(self, name: str, amount=1) -> None:
+        if not amount:
+            return
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = self.registry.counter(self.PREFIX + name)
+        counter.inc(amount)
+
+    def merge(self, snapshot: Dict) -> None:
+        self.registry.merge(snapshot)
+
+    def snapshot(self) -> Dict:
+        return self.registry.snapshot()
+
+    def to_stats(self) -> EngineStats:
+        stats = EngineStats()
+        for f in fields(EngineStats):
+            setattr(stats, f.name, self.registry.counter_value(self.PREFIX + f.name))
+        return stats
 
 
 @dataclass
@@ -218,7 +267,7 @@ def _membership_probe(
     f: TruthTable,
     known_bits: Dict[int, None],
     options: EngineOptions,
-    stats: EngineStats,
+    metrics: "_EngineMetrics",
 ) -> Optional[Tuple[int, NpnTransform]]:
     """Early-exit test of ``f`` against the bucket's known canonical keys.
 
@@ -240,9 +289,34 @@ def _membership_probe(
     refinements the canonicalizer applies, so the candidate sets almost
     always intersect in the canonical table).
     """
-    n = f.n
-    if n == 0:
+    if f.n == 0:
         return None
+    # The candidate loop is the engine's hottest; orderings are counted
+    # in a local box and flushed as one bulk increment on every exit
+    # path (hit, miss, or budget raise).
+    tally = _Tally()
+    try:
+        return _probe_candidates(f, known_bits, options, tally)
+    finally:
+        metrics.inc("orderings_explored", tally.count)
+
+
+class _Tally:
+    """A one-field mutable int box for bulk-flushed hot-loop counts."""
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+
+def _probe_candidates(
+    f: TruthTable,
+    known_bits: Dict[int, None],
+    options: EngineOptions,
+    tally: _Tally,
+) -> Optional[Tuple[int, NpnTransform]]:
+    n = f.n
     mask = bitops.table_mask(n)
     neg_limit = options.match_options.hard_enumeration_limit
     for ff, fo in phase_candidates(f):
@@ -309,7 +383,7 @@ def _membership_probe(
             for i in bitops.iter_bits(forced_neg):
                 mapped |= 1 << perm[i]
             cand = bitops.negate_inputs(permuted, n, mapped) ^ out_mask
-            stats.orderings_explored += 1
+            tally.count += 1
             if cand in known_bits:
                 return cand, NpnTransform(tuple(perm), forced_neg, fo)
             neg = forced_neg
@@ -317,7 +391,7 @@ def _membership_probe(
                 v = balanced[(k & -k).bit_length() - 1]
                 neg ^= 1 << v
                 cand = bitops.flip_axis(cand, n, perm[v])
-                stats.orderings_explored += 1
+                tally.count += 1
                 if cand in known_bits:
                     return cand, NpnTransform(tuple(perm), neg, fo)
     return None
@@ -331,7 +405,7 @@ def _classify_bucket(
     items: Sequence[Tuple[int, int]],
     options: EngineOptions,
     cache: CanonicalKeyCache,
-    stats: EngineStats,
+    metrics: "_EngineMetrics",
     warm: Sequence[WarmEntry] = (),
 ) -> Tuple[
     Dict[ClassKey, List[Tuple[int, int]]],
@@ -369,15 +443,15 @@ def _classify_bucket(
         f = TruthTable(n, bits)
         cached = cache.get((n, bits))
         if cached is not None:
-            stats.cache_hits += 1
+            metrics.inc("cache_hits")
             if cached[0] in warm_keys:
-                stats.store_hits += 1
+                metrics.inc("store_hits")
             elif cached[0] not in known:
                 discovered.setdefault((n, cached[0]), (bits, cached[1]))
             known.setdefault(cached[0])
             assign(ClassKey(n, cached[0]), n, bits)
             continue
-        stats.cache_misses += 1
+        metrics.inc("cache_misses")
         # Probes are opportunistic, so a bucket that keeps missing (a
         # batch with no repeated classes) stops paying for them.
         probing = (
@@ -389,17 +463,17 @@ def _classify_bucket(
             )
         )
         if probing:
-            stats.membership_probes += 1
+            metrics.inc("membership_probes")
             try:
-                hit = _membership_probe(f, known, options, stats)
+                hit = _membership_probe(f, known, options, metrics)
             except BudgetExceededError:
-                stats.membership_bailouts += 1
+                metrics.inc("membership_bailouts")
                 hit = None
             if hit is not None:
                 canon_bits, t = hit
-                stats.membership_hits += 1
+                metrics.inc("membership_hits")
                 if canon_bits in warm_keys:
-                    stats.store_hits += 1
+                    metrics.inc("store_hits")
                 consecutive_misses = 0
                 cache.put((n, bits), (canon_bits, (t.perm, t.input_neg, t.output_neg)))
                 assign(ClassKey(n, canon_bits), n, bits)
@@ -407,9 +481,9 @@ def _classify_bucket(
             consecutive_misses += 1
         try:
             canon, t = canonical_form(f, options.match_options, options.max_orderings)
-            stats.canonicalizations += 1
+            metrics.inc("canonicalizations")
         except BudgetExceededError:
-            stats.quarantined += 1
+            metrics.inc("quarantined")
             deferred.append(f)
             continue
         witness = (t.perm, t.input_neg, t.output_neg)
@@ -423,7 +497,7 @@ def _classify_bucket(
     # known, so pairwise matching cannot split a class.
     quarantine_reps: List[Tuple[int, TruthTable]] = []
     for f in deferred:
-        assign(_quarantine_key(f, known, quarantine_reps, options, stats), f.n, f.bits)
+        assign(_quarantine_key(f, known, quarantine_reps, options, metrics), f.n, f.bits)
     return out, discovered
 
 
@@ -432,17 +506,17 @@ def _quarantine_key(
     known: Dict[int, None],
     quarantine_reps: List[Tuple[int, TruthTable]],
     options: EngineOptions,
-    stats: EngineStats,
+    metrics: "_EngineMetrics",
 ) -> ClassKey:
     for canon_bits in known:
-        stats.pairwise_matches += 1
+        metrics.inc("pairwise_matches")
         try:
             if match(f, TruthTable(f.n, canon_bits), options.match_options) is not None:
                 return ClassKey(f.n, canon_bits)
         except MatchBudgetExceededError:
             continue
     for rep_bits, rep in quarantine_reps:
-        stats.pairwise_matches += 1
+        metrics.inc("pairwise_matches")
         try:
             if match(f, rep, options.match_options) is not None:
                 return ClassKey(f.n, rep_bits, quarantined=True)
@@ -462,25 +536,26 @@ def _classify_chunk(
     """Worker entry point: classify a chunk of whole buckets.
 
     Each chunk element is ``(bucket items, warm entries)``.  Returns
-    plain tuples so results pickle cheaply and merge deterministically
-    in the parent, plus the chunk's newly discovered classes for store
-    write-back (the parent owns the store; workers never touch disk).
+    plain tuples plus the worker's metrics-registry snapshot, so results
+    pickle cheaply and the parent's merge is an exact counter addition,
+    plus the chunk's newly discovered classes for store write-back (the
+    parent owns the store; workers never touch disk).
     """
     options, bucket_items = payload
     cache = CanonicalKeyCache(options.cache_size)
-    stats = EngineStats()
+    metrics = _EngineMetrics()
     t0 = time.perf_counter()
     classes: List[Tuple[Tuple[int, int, bool], List[Tuple[int, int]]]] = []
     discovered: Dict[Tuple[int, int], Tuple[int, Tuple[Tuple[int, ...], int, bool]]] = {}
     for items, warm in bucket_items:
-        bucket_classes, found = _classify_bucket(items, options, cache, stats, warm)
+        bucket_classes, found = _classify_bucket(items, options, cache, metrics, warm)
         for key, members in bucket_classes.items():
             classes.append((tuple(key), members))
         for dkey, dval in found.items():
             discovered.setdefault(dkey, dval)
-    stats.classify_seconds = time.perf_counter() - t0
-    stats.cache_evictions = cache.evictions
-    return classes, stats.as_dict(), sorted(discovered.items())
+    metrics.inc("classify_seconds", time.perf_counter() - t0)
+    metrics.inc("cache_evictions", cache.evictions)
+    return classes, metrics.snapshot(), sorted(discovered.items())
 
 
 # ----------------------------------------------------------------------
@@ -512,10 +587,20 @@ class ClassificationEngine:
     def classify(self, functions: Iterable[TruthTable]) -> EngineResult:
         """Classify a batch; equivalent inputs share a class key, and the
         keys equal :func:`canonical_form`'s canonical bits."""
+        with _obs.tracer.span("engine.classify") as span:
+            result = self._classify(functions)
+            if span.recording:
+                span.set("functions", result.stats.functions)
+                span.set("classes", result.num_classes)
+                span.set("canonicalizations", result.stats.canonicalizations)
+                span.set("membership_hits", result.stats.membership_hits)
+            return result
+
+    def _classify(self, functions: Iterable[TruthTable]) -> EngineResult:
         t_start = time.perf_counter()
         funcs = list(functions)
-        stats = EngineStats()
-        stats.functions = len(funcs)
+        metrics = _EngineMetrics()
+        metrics.inc("functions", len(funcs))
 
         # Stage 1+2: dedup and pre-key bucketing.
         t0 = time.perf_counter()
@@ -524,10 +609,10 @@ class ClassificationEngine:
             if not isinstance(f, TruthTable):
                 raise TypeError(f"expected TruthTable, got {type(f).__name__}")
             members_of.setdefault((f.n, f.bits), []).append(idx)
-        stats.distinct_functions = len(members_of)
-        stats.duplicates = stats.functions - stats.distinct_functions
-        buckets = self._bucketize(members_of, stats)
-        stats.prekey_seconds = time.perf_counter() - t0
+        metrics.inc("distinct_functions", len(members_of))
+        metrics.inc("duplicates", len(funcs) - len(members_of))
+        buckets = self._bucketize(members_of, metrics)
+        metrics.inc("prekey_seconds", time.perf_counter() - t0)
 
         # Warm start: pull the store's classes for every bucket pre-key.
         warm_by_key: Dict[Tuple, List[WarmEntry]] = {}
@@ -540,8 +625,8 @@ class ClassificationEngine:
                     warm_by_key[bkey] = [
                         (r.n, r.canon_bits, r.rep_bits, r.witness) for r in records
                     ]
-                    stats.store_seeded += len(records)
-            stats.prekey_seconds += time.perf_counter() - t0
+                    metrics.inc("store_seeded", len(records))
+            metrics.inc("prekey_seconds", time.perf_counter() - t0)
 
         # Stage 3: classify every bucket.
         ordered = sorted(buckets.items(), key=lambda kv: (-len(kv[1]), kv[0]))
@@ -562,8 +647,8 @@ class ClassificationEngine:
                 results = list(
                     pool.map(_classify_chunk, [(self.options, c) for c in chunks])
                 )
-            for classes, stats_dict, found in results:
-                stats.merge(EngineStats(**stats_dict))
+            for classes, worker_snapshot, found in results:
+                metrics.merge(worker_snapshot)
                 for key_tuple, members in classes:
                     raw.setdefault(ClassKey(*key_tuple), []).extend(members)
                 for dkey, dval in found:
@@ -573,14 +658,14 @@ class ClassificationEngine:
             evictions_before = self.cache.evictions
             for items, warm in bucket_lists:
                 bucket_classes, found = _classify_bucket(
-                    items, self.options, self.cache, stats, warm
+                    items, self.options, self.cache, metrics, warm
                 )
                 for key, members in bucket_classes.items():
                     raw.setdefault(key, []).extend(members)
                 for dkey, dval in found.items():
                     discovered.setdefault(dkey, dval)
-            stats.cache_evictions += self.cache.evictions - evictions_before
-            stats.classify_seconds += time.perf_counter() - t0
+            metrics.inc("cache_evictions", self.cache.evictions - evictions_before)
+            metrics.inc("classify_seconds", time.perf_counter() - t0)
 
         # Write newly discovered classes back to the store.
         if self.store is not None and discovered:
@@ -592,7 +677,7 @@ class ClassificationEngine:
                 if self.store.add_class(
                     d_n, d_canon, rep_bits, witness, meta={"source": "engine"}
                 ):
-                    stats.store_new_classes += 1
+                    metrics.inc("store_new_classes")
             self.store.flush()
 
         # Stage 4: deterministic merge back to input positions.
@@ -603,12 +688,14 @@ class ClassificationEngine:
             for nb in raw[key]:
                 idxs.extend(members_of[nb])
             members[key] = sorted(idxs)
-        stats.merge_seconds = time.perf_counter() - t0
-        stats.total_seconds = time.perf_counter() - t_start
-        return EngineResult(functions=funcs, members=members, stats=stats)
+        metrics.inc("merge_seconds", time.perf_counter() - t0)
+        metrics.inc("total_seconds", time.perf_counter() - t_start)
+        if _obs.enabled:
+            _obs.registry.merge(metrics.snapshot())
+        return EngineResult(functions=funcs, members=members, stats=metrics.to_stats())
 
     def _bucketize(
-        self, members_of: Dict[Tuple[int, int], List[int]], stats: EngineStats
+        self, members_of: Dict[Tuple[int, int], List[int]], metrics: _EngineMetrics
     ) -> Dict[Tuple, List[Tuple[int, int]]]:
         """Group distinct functions by pre-key (two-tier: the fine key is
         only computed inside coarse buckets that collided)."""
@@ -626,12 +713,14 @@ class ClassificationEngine:
                 if len(items) == 1:
                     buckets[ckey] = items
                     continue
-                stats.fine_keyed_buckets += 1
+                metrics.inc("fine_keyed_buckets")
                 for n, bits in items:
                     fkey = fine_prekey(TruthTable(n, bits), ckey)
                     buckets.setdefault(fkey, []).append((n, bits))
-        stats.buckets = len(buckets)
-        stats.singleton_buckets = sum(1 for v in buckets.values() if len(v) == 1)
+        metrics.inc("buckets", len(buckets))
+        metrics.inc(
+            "singleton_buckets", sum(1 for v in buckets.values() if len(v) == 1)
+        )
         return buckets
 
 
@@ -665,9 +754,9 @@ def probe_known(
     known = dict.fromkeys(known_bits)
     if not known:
         return None
-    stats = EngineStats()
+    metrics = _EngineMetrics()
     try:
-        return _membership_probe(f, known, opts, stats)
+        return _membership_probe(f, known, opts, metrics)
     except BudgetExceededError:
         return None
 

@@ -34,6 +34,8 @@ from repro.library.cells import (
     build_cell_index,
     default_cells,
 )
+from repro.obs import runtime as _obs
+from repro.obs.profile import scoped_timer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.store.store import ClassStore
@@ -181,7 +183,11 @@ class CellLibrary:
         if self._store is not None:
             hit = store_lookup(self._store, f)
             if hit is not None:
+                if _obs.enabled:
+                    _obs.registry.counter("library.warm_resolutions").inc()
                 return hit
+        if _obs.enabled:
+            _obs.registry.counter("library.cold_resolutions").inc()
         canon, t_f = canonical_form(f)
         return canon.bits, t_f
 
@@ -204,21 +210,26 @@ class CellLibrary:
         """
         if not self._has_width(f.n):
             return None
-        canon_bits, t_f = self._target_key(f)
-        entries = self._index.get((f.n, canon_bits))
-        if not entries:
-            return None
-        inv_f = t_f.invert()
-        best: Optional[Binding] = None
-        for cell, t_cell in sorted(entries, key=lambda e: e[0].area):
-            binding = Binding(cell, inv_f.compose(t_cell))
-            if (
-                best is None
-                or (binding.cell.area, binding.inverter_count())
-                < (best.cell.area, best.inverter_count())
-            ):
-                best = binding
-        return best
+        with scoped_timer("library.bind"):
+            canon_bits, t_f = self._target_key(f)
+            entries = self._index.get((f.n, canon_bits))
+            if not entries:
+                if _obs.enabled:
+                    _obs.registry.counter("library.bind_misses").inc()
+                return None
+            inv_f = t_f.invert()
+            best: Optional[Binding] = None
+            for cell, t_cell in sorted(entries, key=lambda e: e[0].area):
+                binding = Binding(cell, inv_f.compose(t_cell))
+                if (
+                    best is None
+                    or (binding.cell.area, binding.inverter_count())
+                    < (best.cell.area, best.inverter_count())
+                ):
+                    best = binding
+            if _obs.enabled:
+                _obs.registry.counter("library.bind_hits").inc()
+            return best
 
     def bind_linear(self, f: TruthTable) -> Optional[Binding]:
         """The pre-store baseline: canonicalize the target, then run the
@@ -249,9 +260,13 @@ class CellLibrary:
         """
         memo: Dict[Tuple[int, int], Optional[Binding]] = {}
         out: List[Optional[Binding]] = []
-        for f in functions:
-            key = (f.n, f.bits)
-            if key not in memo:
-                memo[key] = self.bind(f)
-            out.append(memo[key])
+        with scoped_timer("library.bind_all"):
+            for f in functions:
+                key = (f.n, f.bits)
+                if key not in memo:
+                    memo[key] = self.bind(f)
+                else:
+                    if _obs.enabled:
+                        _obs.registry.counter("library.bind_memo_hits").inc()
+                out.append(memo[key])
         return out

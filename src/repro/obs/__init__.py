@@ -1,0 +1,60 @@
+"""Unified observability: metrics registry, span tracer, profiling hooks.
+
+Dependency-free and off by default.  The rest of the system talks to
+this package through :mod:`repro.obs.runtime` — a pair of module
+globals (``enabled``, ``tracer``, ``registry``) whose disabled cost at
+an instrumentation site is one attribute load and one branch.  See
+``DESIGN.md`` ("Observability") for the architecture and the event
+taxonomy of the matcher's prune reasons.
+"""
+
+from repro.obs import runtime
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_TIME_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import scoped_timer, timed
+from repro.obs.render import (
+    render_match_explanation,
+    render_metrics,
+    render_profile,
+    render_trace_tree,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    JsonlSink,
+    NullSink,
+    RingBufferSink,
+    TRACE_DETAIL,
+    TRACE_OFF,
+    TRACE_SPANS,
+    Tracer,
+    load_trace,
+)
+
+__all__ = [
+    "runtime",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "scoped_timer",
+    "timed",
+    "Tracer",
+    "NULL_TRACER",
+    "NullSink",
+    "RingBufferSink",
+    "JsonlSink",
+    "TRACE_OFF",
+    "TRACE_SPANS",
+    "TRACE_DETAIL",
+    "load_trace",
+    "render_trace_tree",
+    "render_metrics",
+    "render_profile",
+    "render_match_explanation",
+]

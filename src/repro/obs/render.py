@@ -1,0 +1,224 @@
+"""Human-readable rendering of traces and metrics snapshots.
+
+``render_trace_tree`` rebuilds the span forest from flat JSONL records
+(children link to parents by id) and prints one line per span with its
+wall time and attributes, aggregating repeated point events into
+``name[reason] ×count`` rollups so a 10k-prune search stays readable.
+``render_metrics`` prints a snapshot's counters/gauges/histograms;
+``render_profile`` condenses the ``<name>.calls`` / ``.seconds_total``
+pairs the profiling hooks emit into a top-of-the-bill table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry, labels_suffix
+
+__all__ = [
+    "render_trace_tree",
+    "render_metrics",
+    "render_profile",
+    "render_match_explanation",
+]
+
+
+def _fmt_duration(us: float) -> str:
+    if us >= 1e6:
+        return f"{us / 1e6:.2f}s"
+    if us >= 1e3:
+        return f"{us / 1e3:.2f}ms"
+    return f"{us:.0f}µs"
+
+
+def _fmt_attrs(attrs: Mapping[str, Any]) -> str:
+    if not attrs:
+        return ""
+    inner = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+    return "  {" + inner + "}"
+
+
+def _event_rollups(events: Iterable[Mapping[str, Any]]) -> List[str]:
+    """Aggregate events by (name, reason/family/stage) into count lines."""
+    groups: Dict[Tuple, Dict[str, Any]] = {}
+    order: List[Tuple] = []
+    for ev in events:
+        attrs = ev.get("attrs", {})
+        key = (
+            ev.get("name"),
+            attrs.get("reason"),
+            attrs.get("family"),
+            attrs.get("stage"),
+        )
+        if key not in groups:
+            groups[key] = {"count": 0, "first": attrs}
+            order.append(key)
+        groups[key]["count"] += 1
+    lines = []
+    for key in order:
+        name, reason, family, stage = key
+        qual = "/".join(str(part) for part in (reason, family, stage) if part)
+        label = f"{name}[{qual}]" if qual else str(name)
+        entry = groups[key]
+        suffix = f" ×{entry['count']}" if entry["count"] > 1 else ""
+        extras = {
+            k: v
+            for k, v in entry["first"].items()
+            if k not in ("reason", "family", "stage")
+        }
+        lines.append(f"· {label}{suffix}{_fmt_attrs(extras) if entry['count'] == 1 else ''}")
+    return lines
+
+
+def render_trace_tree(records: Iterable[Mapping[str, Any]]) -> str:
+    """Render flat span/event records as an indented tree."""
+    records = list(records)
+    spans = {r["id"]: r for r in records if r.get("kind") == "span"}
+    children: Dict[Optional[int], List[Mapping[str, Any]]] = {}
+    for span in spans.values():
+        parent = span.get("parent")
+        if parent is not None and parent not in spans:
+            parent = None  # orphan (ring buffer evicted the parent)
+        children.setdefault(parent, []).append(span)
+    for sibling_list in children.values():
+        sibling_list.sort(key=lambda s: s.get("t0_us", 0))
+
+    lines: List[str] = []
+
+    def walk(span: Mapping[str, Any], indent: int) -> None:
+        pad = "  " * indent
+        lines.append(
+            f"{pad}{span['name']}  {_fmt_duration(span.get('dur_us', 0))}"
+            f"{_fmt_attrs(span.get('attrs', {}))}"
+        )
+        for ev_line in _event_rollups(span.get("events", ())):
+            lines.append(f"{pad}  {ev_line}")
+        for child in children.get(span["id"], ()):
+            walk(child, indent + 1)
+
+    for root in children.get(None, ()):
+        walk(root, 0)
+    standalone = [r for r in records if r.get("kind") == "event"]
+    if standalone:
+        lines.append("events:")
+        for ev_line in _event_rollups(standalone):
+            lines.append(f"  {ev_line}")
+    if not lines:
+        lines.append("(empty trace)")
+    return "\n".join(lines)
+
+
+def render_metrics(snapshot: Mapping[str, Any]) -> str:
+    """Render a metrics snapshot as aligned name/value tables."""
+    lines: List[str] = []
+    counters = snapshot.get("counters", [])
+    gauges = snapshot.get("gauges", [])
+    histograms = snapshot.get("histograms", [])
+
+    def _rows(entries):
+        rows = []
+        for entry in entries:
+            name = entry["name"] + labels_suffix(entry.get("labels", {}))
+            value = entry["value"]
+            shown = f"{value:.6g}" if isinstance(value, float) else str(value)
+            rows.append((name, shown))
+        return rows
+
+    for title, entries in (("counters", counters), ("gauges", gauges)):
+        rows = _rows(entries)
+        if not rows:
+            continue
+        lines.append(f"{title}:")
+        width = max(len(name) for name, _ in rows)
+        for name, shown in rows:
+            lines.append(f"  {name:<{width}}  {shown}")
+    if histograms:
+        lines.append("histograms:")
+        for entry in histograms:
+            name = entry["name"] + labels_suffix(entry.get("labels", {}))
+            count = entry["count"]
+            mean = entry["sum"] / count if count else 0.0
+            lines.append(f"  {name}  count={count} mean={mean:.6g}")
+            cells = [
+                f"<={edge:g}: {c}"
+                for edge, c in zip(entry["edges"], entry["counts"])
+                if c
+            ]
+            if entry["counts"][-1]:
+                cells.append(f">{entry['edges'][-1]:g}: {entry['counts'][-1]}")
+            if cells:
+                lines.append("    " + " | ".join(cells))
+    if not lines:
+        lines.append("(empty snapshot)")
+    return "\n".join(lines)
+
+
+def render_match_explanation(records: Iterable[Mapping[str, Any]]) -> str:
+    """Explain one traced match run from its records.
+
+    Two sections: the per-family signature refinement trail (the variable
+    partition after each family's refinement pass — ``refine`` events),
+    and the prune summary (``prune`` events grouped by reason and
+    signature family, most frequent first).
+    """
+    events: List[Mapping[str, Any]] = []
+    for r in records:
+        if r.get("kind") == "span":
+            events.extend(r.get("events", ()))
+        elif r.get("kind") == "event":
+            events.append(r)
+
+    lines: List[str] = []
+    refines = [e for e in events if e.get("name") == "refine"]
+    if refines:
+        lines.append("signature refinement (variable partition after each family):")
+        for ev in refines:
+            attrs = ev.get("attrs", {})
+            blocks = attrs.get("blocks", [])
+            shown = " | ".join(
+                ",".join(f"x{v}" for v in block) for block in blocks
+            )
+            mark = "split " if attrs.get("split") else "stable"
+            lines.append(f"  {str(attrs.get('family', '?')):<8} {mark} -> {shown}")
+    else:
+        lines.append(
+            "signature refinement: none recorded "
+            "(rejected before partition refinement)"
+        )
+    prunes = [e for e in events if e.get("name") == "prune"]
+    if prunes:
+        counts: Dict[Tuple[str, str], int] = {}
+        for ev in prunes:
+            attrs = ev.get("attrs", {})
+            key = (str(attrs.get("reason", "?")), str(attrs.get("family") or ""))
+            counts[key] = counts.get(key, 0) + 1
+        lines.append("prune summary:")
+        for (reason, family), count in sorted(
+            counts.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            label = f"{reason}[{family}]" if family else reason
+            lines.append(f"  {label:<36} ×{count}")
+    else:
+        lines.append("prune summary: no prune events")
+    return "\n".join(lines)
+
+
+def render_profile(registry: MetricsRegistry, top: int = 20) -> str:
+    """Condense the profiling-hook counters into a top-N timing table."""
+    snapshot = registry.snapshot()
+    calls: Dict[str, float] = {}
+    totals: Dict[str, float] = {}
+    for entry in snapshot.get("counters", []):
+        name = entry["name"] + labels_suffix(entry.get("labels", {}))
+        if name.endswith(".calls"):
+            calls[name[: -len(".calls")]] = entry["value"]
+        elif name.endswith(".seconds_total"):
+            totals[name[: -len(".seconds_total")]] = entry["value"]
+    if not totals:
+        return "(no timed sections recorded; is observability enabled?)"
+    lines = [f"{'section':<40} {'calls':>8} {'total':>10} {'mean':>10}"]
+    for name, total in sorted(totals.items(), key=lambda kv: -kv[1])[:top]:
+        n = calls.get(name, 0)
+        mean = total / n if n else 0.0
+        lines.append(f"{name:<40} {n:>8.0f} {total:>9.3f}s {mean * 1e3:>8.3f}ms")
+    return "\n".join(lines)

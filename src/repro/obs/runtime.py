@@ -1,0 +1,87 @@
+"""Process-global observability state and its on/off gate.
+
+Instrumented call sites across the system read two module globals::
+
+    from repro.obs import runtime as _obs
+    ...
+    if _obs.enabled:
+        _obs.registry.counter("store.shard_reads").inc()
+    tr = _obs.tracer
+    if tr.enabled:
+        tr.event("prune", reason="signature", family="weights")
+
+``enabled`` is a plain bool and ``tracer`` defaults to the shared
+no-op :data:`~repro.obs.trace.NULL_TRACER`, so the disabled cost of an
+instrumentation site is one attribute load and one falsy branch — no
+objects, no formatting, no locks.  The CLI's ``--trace/--metrics/
+--profile`` options call :func:`enable`; tests use :func:`capture` to
+get an isolated registry + in-memory tracer and restore the previous
+state afterwards.
+
+The registry is process-local by design: parallel engine workers build
+their own and ship :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+dicts back to the parent, which merges them (see
+:mod:`repro.engine.classifier`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    NULL_TRACER,
+    RingBufferSink,
+    TRACE_DETAIL,
+    Tracer,
+)
+
+__all__ = ["enabled", "registry", "tracer", "enable", "disable", "capture"]
+
+enabled: bool = False
+registry: MetricsRegistry = MetricsRegistry()
+tracer: Tracer = NULL_TRACER
+
+
+def enable(
+    trace: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> None:
+    """Turn observability on, optionally swapping the tracer/registry."""
+    global enabled, registry, tracer
+    if metrics is not None:
+        registry = metrics
+    if trace is not None:
+        tracer = trace
+    enabled = True
+
+
+def disable() -> None:
+    """Back to the near-zero-cost default state (tracer = no-op)."""
+    global enabled, tracer
+    enabled = False
+    if tracer is not NULL_TRACER:
+        tracer.close()
+    tracer = NULL_TRACER
+
+
+@contextmanager
+def capture(
+    level: int = TRACE_DETAIL, ring_capacity: int = 65536
+) -> Iterator[Tuple[MetricsRegistry, RingBufferSink]]:
+    """Scoped observability: fresh registry + in-memory tracer.
+
+    Yields ``(registry, ring_sink)`` and restores the previous global
+    state on exit — the building block of ``match --explain`` and the
+    obs test suite.
+    """
+    global enabled, registry, tracer
+    prev = (enabled, registry, tracer)
+    ring = RingBufferSink(ring_capacity)
+    fresh = MetricsRegistry()
+    try:
+        enable(trace=Tracer([ring], level=level), metrics=fresh)
+        yield fresh, ring
+    finally:
+        enabled, registry, tracer = prev

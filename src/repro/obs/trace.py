@@ -1,0 +1,308 @@
+"""Span-based tracing with pluggable sinks.
+
+A :class:`Tracer` hands out :class:`Span` context managers::
+
+    with tracer.span("np_match", n=f.n) as sp:
+        sp.event("prune", reason="signature", family="weights")
+        ...
+        sp.set("matched", True)
+
+Spans nest per-thread (a ``threading.local`` stack tracks the current
+span), carry monotonic ``perf_counter_ns`` timestamps, free-form
+attributes, and point events.  A finished span is rendered to one plain
+dict and pushed to every sink; sinks are tiny:
+
+* :class:`RingBufferSink` — last-N spans in memory (powers ``--explain``
+  and the tests),
+* :class:`JsonlSink` — one JSON object per line (powers ``--trace FILE``
+  and ``obs report``),
+* :class:`NullSink` — discards (overhead measurement).
+
+Levels gate cost before any formatting happens: ``TRACE_OFF`` makes
+``span()`` return a shared immutable no-op span and ``event()`` return
+immediately; ``TRACE_SPANS`` records spans and span attributes but
+drops detail events; ``TRACE_DETAIL`` records everything (per-prune
+events in the matcher's backtracking loop).  The disabled path is a
+single integer compare — verified by ``benchmarks/bench_obs.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = [
+    "TRACE_OFF",
+    "TRACE_SPANS",
+    "TRACE_DETAIL",
+    "Span",
+    "NULL_SPAN",
+    "Tracer",
+    "NULL_TRACER",
+    "NullSink",
+    "RingBufferSink",
+    "JsonlSink",
+    "load_trace",
+]
+
+TRACE_OFF = 0
+TRACE_SPANS = 1
+TRACE_DETAIL = 2
+
+
+class _NullSpan:
+    """Shared, do-nothing span returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set(self, key: str, value: Any) -> None:
+        return None
+
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    @property
+    def recording(self) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live span; use via ``with tracer.span(...)``."""
+
+    __slots__ = (
+        "tracer", "name", "span_id", "parent_id", "depth",
+        "start_ns", "end_ns", "attrs", "events",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        depth: int,
+        attrs: Dict[str, Any],
+    ):
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.start_ns = 0
+        self.end_ns = 0
+        self.attrs = attrs
+        self.events: List[Dict[str, Any]] = []
+
+    @property
+    def recording(self) -> bool:
+        return True
+
+    def set(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Attach a point event; dropped below ``TRACE_DETAIL``."""
+        if self.tracer.level < TRACE_DETAIL:
+            return
+        self.events.append(
+            {"name": name, "t_us": (time.perf_counter_ns() - self.start_ns) // 1000,
+             "attrs": attrs}
+        )
+
+    def __enter__(self) -> "Span":
+        self.start_ns = time.perf_counter_ns()
+        self.tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end_ns = time.perf_counter_ns()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.tracer._pop(self)
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "kind": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "depth": self.depth,
+            "t0_us": self.start_ns // 1000,
+            "dur_us": (self.end_ns - self.start_ns) // 1000,
+            "attrs": self.attrs,
+            "events": self.events,
+        }
+
+
+class Tracer:
+    """Hands out nesting spans and fans finished spans to sinks."""
+
+    def __init__(self, sinks: Iterable = (), level: int = TRACE_DETAIL):
+        self.sinks = list(sinks)
+        self.level = level if self.sinks else TRACE_OFF
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    @property
+    def enabled(self) -> bool:
+        return self.level > TRACE_OFF
+
+    def wants(self, level: int) -> bool:
+        return self.level >= level
+
+    # -- span stack -----------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> Optional[Span]:
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        self._emit(span.to_record())
+
+    # -- recording ------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        """A new child span of the current span (no-op when off)."""
+        if self.level < TRACE_SPANS:
+            return NULL_SPAN
+        parent = self.current()
+        return Span(
+            self,
+            name,
+            next(self._ids),
+            parent.span_id if parent is not None else None,
+            parent.depth + 1 if parent is not None else 0,
+            attrs,
+        )
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """A point event on the current span (or standalone at top level)."""
+        if self.level < TRACE_DETAIL:
+            return
+        current = self.current()
+        if current is not None:
+            current.events.append(
+                {
+                    "name": name,
+                    "t_us": (time.perf_counter_ns() - current.start_ns) // 1000,
+                    "attrs": attrs,
+                }
+            )
+            return
+        self._emit(
+            {
+                "kind": "event",
+                "name": name,
+                "t_us": time.perf_counter_ns() // 1000,
+                "attrs": attrs,
+            }
+        )
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        for sink in self.sinks:
+            sink.emit(record)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+
+NULL_TRACER = Tracer(level=TRACE_OFF)
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+
+class NullSink:
+    """Accepts and discards every record."""
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        return None
+
+
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` records in memory."""
+
+    def __init__(self, capacity: int = 4096):
+        self._records: deque = deque(maxlen=capacity)
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        self._records.append(record)
+
+    def records(self) -> List[Dict[str, Any]]:
+        return list(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class JsonlSink:
+    """Writes one JSON object per line to a file."""
+
+    def __init__(self, path):
+        from pathlib import Path
+
+        self.path = Path(path)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            self._handle.write(line + "\n")
+
+    def flush(self) -> None:
+        with self._lock:
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()
+
+
+def load_trace(path) -> List[Dict[str, Any]]:
+    """Read a :class:`JsonlSink` file back into a record list."""
+    from pathlib import Path
+
+    records = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: unparseable trace line: {exc}") from exc
+    return records

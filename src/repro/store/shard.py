@@ -40,6 +40,8 @@ import zlib
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from repro.obs import runtime as _obs
+from repro.obs.profile import scoped_timer
 from repro.store.errors import StoreCorruptionError
 from repro.store.records import StoreRecord
 
@@ -97,17 +99,21 @@ def write_shard(shard_dir: Path, shard_id: int, records: Sequence[StoreRecord]) 
             if path.exists():
                 path.unlink()
         return
-    body = ("\n".join(r.to_line() for r in records) + "\n").encode("utf-8")
-    footer = {
-        "footer": FOOTER_VERSION,
-        "count": len(records),
-        "crc": _crc_hex(body),
-    }
-    data = body + (json.dumps(footer, sort_keys=True) + "\n").encode("utf-8")
-    _atomic_write(seg, data)
-    _atomic_write(
-        idx, (json.dumps(index_payload(records, data), sort_keys=True) + "\n").encode("utf-8")
-    )
+    with scoped_timer("store.shard_write"):
+        body = ("\n".join(r.to_line() for r in records) + "\n").encode("utf-8")
+        footer = {
+            "footer": FOOTER_VERSION,
+            "count": len(records),
+            "crc": _crc_hex(body),
+        }
+        data = body + (json.dumps(footer, sort_keys=True) + "\n").encode("utf-8")
+        _atomic_write(seg, data)
+        _atomic_write(
+            idx, (json.dumps(index_payload(records, data), sort_keys=True) + "\n").encode("utf-8")
+        )
+    if _obs.enabled:
+        _obs.registry.counter("store.records_written").inc(len(records))
+        _obs.registry.counter("store.bytes_written").inc(len(data))
 
 
 def read_index(shard_dir: Path, shard_id: int) -> Optional[Dict]:
@@ -138,6 +144,15 @@ def load_shard(shard_dir: Path, shard_id: int) -> List[StoreRecord]:
     seg = shard_dir / segment_name(shard_id)
     if not seg.exists():
         return []
+    with scoped_timer("store.shard_read"):
+        records = _parse_segment(seg)
+    if _obs.enabled:
+        _obs.registry.counter("store.records_read").inc(len(records))
+        _obs.registry.counter("store.checksum_verifies").inc()
+    return records
+
+
+def _parse_segment(seg: Path) -> List[StoreRecord]:
     data = seg.read_bytes()
     if not data.endswith(b"\n"):
         raise StoreCorruptionError(

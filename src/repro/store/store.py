@@ -38,6 +38,8 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.boolfunc.truthtable import TruthTable
 from repro.engine.prekey import coarse_prekey
+from repro.obs import runtime as _obs
+from repro.obs.profile import scoped_timer
 
 from repro.store.errors import StoreCorruptionError, StoreError
 from repro.store.records import StoreRecord, WitnessTuple, encode_prekey
@@ -189,13 +191,15 @@ class ClassStore:
     def flush(self) -> int:
         """Write buffered appends to disk; returns flushed record count."""
         flushed = 0
-        with self._lock:
+        with self._lock, scoped_timer("store.flush"):
             for shard_id, loaded in sorted(self._shards.items()):
                 if not loaded.dirty:
                     continue
                 write_shard(self.shard_dir, shard_id, loaded.records)
                 flushed += loaded.dirty
                 loaded.dirty = 0
+        if flushed and _obs.enabled:
+            _obs.registry.counter("store.records_flushed").inc(flushed)
         return flushed
 
     def compact(self) -> Dict[str, int]:
@@ -204,7 +208,7 @@ class ClassStore:
         Flushes first, touches every shard present on disk, and returns
         ``{"records_before", "records_after", "shards_rewritten"}``.
         """
-        with self._lock:
+        with self._lock, scoped_timer("store.compact"):
             self.flush()
             before = after = rewritten = 0
             for shard_id in self._present_shard_ids():
@@ -219,6 +223,9 @@ class ClassStore:
                     for record in kept:
                         fresh.absorb(record)
                     self._shards[shard_id] = fresh
+            if _obs.enabled:
+                _obs.registry.counter("store.compact_dropped").inc(before - after)
+                _obs.registry.counter("store.compact_rewritten").inc(rewritten)
             return {
                 "records_before": before,
                 "records_after": after,
@@ -326,7 +333,7 @@ class ClassStore:
         raises :class:`StoreCorruptionError` / :class:`StoreError` on
         the first problem found.
         """
-        with self._lock:
+        with self._lock, scoped_timer("store.verify"):
             if any(s.dirty for s in self._shards.values()):
                 raise StoreError("verify() with unflushed records; flush() first")
             total = 0
@@ -348,6 +355,8 @@ class ClassStore:
                             "does not reproduce the canonical bits"
                         )
                 total += len(records)
+            if _obs.enabled:
+                _obs.registry.counter("store.records_verified").inc(total)
             return total
 
     def reindex(self) -> int:
