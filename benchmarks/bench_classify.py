@@ -13,6 +13,10 @@ Scenarios:
 * ``pure_random`` — uniform random tables; with n = 5 virtually every
   function opens a new class, so there is nothing for dedup, caching,
   or membership probes to exploit and the honest expectation is ~1x.
+* ``kernel_on_off`` — the repeated-classes batch with the bit-parallel
+  bucketing kernels forced on (``kernel="batch"``) vs off
+  (``kernel="scalar"``); the groupings must match exactly (see also
+  ``BENCH_kernels.json`` for the isolated kernel curves).
 * ``workers`` — the repeated-classes batch under 1, 2, and 4 worker
   processes (wall-clock parallel benefit requires free cores; the
   recorded ``cpu_count`` says what this box could show).
@@ -153,6 +157,34 @@ def main(argv=None) -> int:
     print(
         f"pure_random: baseline {t_base_r:.3f}s engine {t_eng_r:.3f}s "
         f"speedup {t_base_r / t_eng_r:.2f}x ({result_r.num_classes} classes)"
+    )
+
+    # -- kernel on/off ----------------------------------------------------
+    # The same repeated-classes batch through the engine with the batch
+    # kernels forced on vs forced off; everything else (cache, workers,
+    # matchers) identical, so the delta is the bucketing pipeline alone.
+    t_scalar_k, result_sk = min(
+        (run_engine(batch, kernel="scalar") for _ in range(trials)),
+        key=lambda r: r[0],
+    )
+    t_batch_k, result_bk = min(
+        (run_engine(batch, kernel="batch") for _ in range(trials)),
+        key=lambda r: r[0],
+    )
+    assert same_grouping(base_keys, result_sk), "kernel=scalar diverged"
+    assert same_grouping(base_keys, result_bk), "kernel=batch diverged"
+    report["scenarios"]["kernel_on_off"] = {
+        "scalar_seconds": t_scalar_k,
+        "batch_seconds": t_batch_k,
+        "speedup": t_scalar_k / t_batch_k,
+        "kernel_batched": result_bk.stats.kernel_batched,
+        "kernel_scalar": result_sk.stats.kernel_scalar,
+        "note": "end-to-end classify; bucketing is one slice of total time",
+    }
+    print(
+        f"kernel_on_off: scalar {t_scalar_k:.3f}s batch {t_batch_k:.3f}s "
+        f"speedup {t_scalar_k / t_batch_k:.2f}x "
+        f"({result_bk.stats.kernel_batched} functions batched)"
     )
 
     # -- worker sweep -----------------------------------------------------

@@ -24,7 +24,7 @@ class TruthTable:
     index.
     """
 
-    __slots__ = ("n", "bits", "_count", "_support")
+    __slots__ = ("n", "bits", "_count", "_support", "_weights")
 
     def __init__(self, n: int, bits: int):
         if n < 0 or n > bitops.MAX_VARS:
@@ -38,6 +38,7 @@ class TruthTable:
         # classification hot path queries both repeatedly per function.
         object.__setattr__(self, "_count", None)
         object.__setattr__(self, "_support", None)
+        object.__setattr__(self, "_weights", None)
 
     def __setattr__(self, *_: object) -> None:
         raise AttributeError("TruthTable is immutable")
@@ -151,6 +152,32 @@ class TruthTable:
         (ncw).
         """
         return bitops.half_weight(self.bits, self.n, i, value)
+
+    def cofactor_weights(self) -> Tuple[Tuple[int, int], ...]:
+        """``((ncw_i, pcw_i), ...)`` for every variable, lazily cached.
+
+        The full weight vector drives polarity selection, the membership
+        probe and the engine's pre-keys; the batch kernels pre-seed it
+        (:meth:`prime_weights`) so those consumers never recompute it.
+        """
+        w = self._weights
+        if w is None:
+            bits = self.bits
+            w = tuple(
+                (
+                    (bits & m).bit_count(),
+                    ((bits >> (1 << i)) & m).bit_count(),
+                )
+                for i, m in enumerate(bitops.axis_masks(self.n))
+            )
+            object.__setattr__(self, "_weights", w)
+        return w
+
+    def prime_weights(self, weights: Tuple[Tuple[int, int], ...]) -> None:
+        """Seed the :meth:`cofactor_weights` cache with a precomputed
+        vector (from the batch kernels).  The caller vouches that
+        ``weights`` is exactly what ``cofactor_weights`` would compute."""
+        object.__setattr__(self, "_weights", weights)
 
     def is_balanced(self, i: int) -> bool:
         """True when ``|f_xi| = |f_x̄i|`` (paper: *balanced* variable)."""

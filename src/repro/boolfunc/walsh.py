@@ -9,14 +9,65 @@ coefficients whose ``w`` touches the negated variable flip sign, and
 under output negation the entire spectrum flips sign — so coefficient
 *magnitudes*, bucketed by the order ``|w|``, are npn-invariant
 signatures.
+
+Implementation: the butterfly runs on one packed integer whose 16-bit
+(forward) / 32-bit (inverse) little-endian fields hold the partial
+coefficients in *bias encoding* — every field stores ``value + bias``
+where the bias doubles each round, so fields stay non-negative and an
+ordinary big-int addition performs all ``2**n`` signed adds at once.
+The per-round subtraction ``a - b`` becomes ``a + (2*bias - b)`` with
+the constant replicated per field, which likewise never borrows across
+fields.  A Python-list butterfly remains as the reference and as the
+fallback outside the packed ranges.
 """
 
 from __future__ import annotations
 
+import struct
 from typing import Dict, List, Tuple
 
 from repro.boolfunc.truthtable import TruthTable
+from repro.kernels import lanes
 from repro.utils import bitops
+
+_PACKED_MAX_N = 14
+"""Forward fields are 16-bit: coefficients span ``[-2**n, 2**n]`` and the
+bias encoding needs ``2 * 2**n < 2**16``, so pack up to ``n = 14``."""
+
+# byte -> 8 little-endian 16-bit fields of (1 - 2*bit) + 1 == 2 - 2*bit:
+# the bias-1 encoding of the leaf values, expanded 8 table bits at a time.
+_EXPAND16 = [
+    bytes(v for bit in range(8) for v in (2 - 2 * ((byte >> bit) & 1), 0))
+    for byte in range(256)
+]
+
+
+def _butterfly_list(values: List[int]) -> List[int]:
+    size = len(values)
+    stride = 1
+    while stride < size:
+        for base in range(0, size, stride << 1):
+            for k in range(base, base + stride):
+                a, b = values[k], values[k + stride]
+                values[k], values[k + stride] = a + b, a - b
+        stride <<= 1
+    return values
+
+
+def _butterfly_packed(x: int, n: int, field: int, bias: int) -> int:
+    """Bias-encoded packed butterfly: ``field``-bit fields, initial bias
+    ``bias`` per field, doubling each of the ``n`` rounds."""
+    total_bits = field << n
+    for k in range(n):
+        w = (1 << k) * field
+        m = lanes.rep_mask(w, total_bits)
+        e = x & m
+        o = (x >> w) & m
+        # a - b in bias encoding: (a+bias) + (2*bias - (b+bias)) = a-b+2*bias.
+        c = lanes.rep_const(2 * bias, field, total_bits) & m
+        x = (e + o) | ((e + (c - o)) << w)
+        bias <<= 1
+    return x
 
 
 def walsh_spectrum(f: TruthTable) -> List[int]:
@@ -25,15 +76,15 @@ def walsh_spectrum(f: TruthTable) -> List[int]:
     ``R(0)`` is ``2**n - 2|f|``; Parseval gives ``Σ R(w)² = 4**n``.
     """
     n = f.n
-    values = [1 - 2 * ((f.bits >> m) & 1) for m in range(1 << n)]
-    stride = 1
-    while stride < (1 << n):
-        for base in range(0, 1 << n, stride << 1):
-            for k in range(base, base + stride):
-                a, b = values[k], values[k + stride]
-                values[k], values[k + stride] = a + b, a - b
-        stride <<= 1
-    return values
+    size = 1 << n
+    if n < 3 or n > _PACKED_MAX_N:
+        return _butterfly_list([1 - 2 * ((f.bits >> m) & 1) for m in range(size)])
+    tb = f.bits.to_bytes(size >> 3, "little")
+    x = int.from_bytes(b"".join(map(_EXPAND16.__getitem__, tb)), "little")
+    x = _butterfly_packed(x, n, 16, 1)
+    vals = struct.unpack(f"<{size}H", x.to_bytes(size * 2, "little"))
+    final_bias = size  # 1 doubled n times
+    return [v - final_bias for v in vals]
 
 
 def spectrum_by_order(f: TruthTable) -> Dict[int, Tuple[int, ...]]:
@@ -80,14 +131,21 @@ def inverse_walsh(spectrum: List[int]) -> TruthTable:
     n = size.bit_length() - 1
     if 1 << n != size:
         raise ValueError("spectrum length must be a power of two")
-    values = list(spectrum)
-    stride = 1
-    while stride < size:
-        for base in range(0, size, stride << 1):
-            for k in range(base, base + stride):
-                a, b = values[k], values[k + stride]
-                values[k], values[k + stride] = a + b, a - b
-        stride <<= 1
+    # The packed path needs inputs inside the valid coefficient range so
+    # the bias encoding cannot underflow; out-of-range (invalid) spectra
+    # take the list path, which reproduces the historical ValueError
+    # behavior exactly.
+    if 3 <= n <= _PACKED_MAX_N and all(-size <= v <= size for v in spectrum):
+        x = int.from_bytes(
+            struct.pack(f"<{size}I", *[v + size for v in spectrum]), "little"
+        )
+        x = _butterfly_packed(x, n, 32, size)
+        values = [
+            v - (size << n)
+            for v in struct.unpack(f"<{size}I", x.to_bytes(size * 4, "little"))
+        ]
+    else:
+        values = _butterfly_list(list(spectrum))
     bits = 0
     for m, v in enumerate(values):
         scaled = v >> n  # divide by 2**n

@@ -152,7 +152,9 @@ def cmd_classify(args: argparse.Namespace) -> int:
 
     circuit = load_circuit(args.file)
     tables = [out.table for out in circuit.outputs]
-    options = EngineOptions(workers=args.workers, cache_size=args.cache_size)
+    options = EngineOptions(
+        workers=args.workers, cache_size=args.cache_size, kernel=args.kernel
+    )
     result = ClassificationEngine(options).classify(tables)
     if args.report == "json":
         import json
@@ -436,6 +438,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             metamorphic=not args.no_metamorphic,
             shrink=not args.no_shrink,
             corpus_dir=args.corpus,
+            prekey_filter=args.prekey_filter,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -583,6 +586,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--stats", action="store_true", help="append engine counters to text output"
     )
+    p.add_argument(
+        "--kernel",
+        choices=("auto", "scalar", "batch"),
+        default="auto",
+        help="pre-key computation: bit-parallel batch kernel, scalar "
+        "loop, or size-based auto dispatch (identical partitions)",
+    )
     p.set_defaults(func=cmd_classify)
 
     p = sub.add_parser("symmetries", help="variable symmetries per output")
@@ -697,6 +707,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--no-metamorphic", action="store_true")
     p.add_argument("--no-shrink", action="store_true")
+    p.add_argument(
+        "--prekey-filter",
+        choices=("off", "annotate", "discard"),
+        default="annotate",
+        dest="prekey_filter",
+        help="batch pre-key prefilter on drawn pairs: annotate "
+        "unknown-verdict pairs whose npn-invariant pre-keys differ as "
+        "known-inequivalent, or discard them without a matcher run",
+    )
     p.add_argument(
         "--self-check",
         action="store_true",

@@ -111,16 +111,22 @@ def _fold_rounds(
     t = source.bits
     for i in bitops.iter_bits(decided & support):
         t = _fold_axis(t, n, i, (polarity >> i) & 1)
+    # Until anything is folded the axis counts *are* the cofactor
+    # weights, so the first round of an un-prefolded call reads the
+    # source's cached weight vector (which the batch kernels pre-seed)
+    # instead of running 2n masked popcounts.
+    counts = None if decided & support else source.cofactor_weights()
     rounds = 0
     while True:
         rounds += 1
         newly: List[Tuple[int, int]] = []
         for i in bitops.iter_bits(support & ~decided):
-            c0, c1 = _axis_counts(t, n, i)
+            c0, c1 = counts[i] if counts is not None else _axis_counts(t, n, i)
             if c1 > c0:
                 newly.append((i, 1))
             elif c0 > c1:
                 newly.append((i, 0))
+        counts = None
         if not newly:
             return polarity, decided, rounds
         for i, pole in newly:

@@ -60,6 +60,7 @@ from typing import (
     Tuple,
 )
 
+from repro import kernels
 from repro.boolfunc.transform import NpnTransform
 from repro.boolfunc.truthtable import TruthTable
 from repro.core.canonical import canonical_form
@@ -117,6 +118,14 @@ class EngineOptions:
     use_prekey: bool = True
     """Bucket by pre-key (off = one bucket per variable count)."""
 
+    kernel: str = "auto"
+    """Pre-key computation dispatch: ``"auto"`` runs same-width groups of
+    at least :data:`repro.kernels.KERNEL_MIN_BATCH` distinct functions
+    through the bit-parallel batch kernel, ``"batch"`` forces the kernel
+    wherever it supports the width, ``"scalar"`` always uses the
+    per-function path.  All modes produce identical buckets and class
+    partitions."""
+
     use_membership: bool = True
     """Enable the early-exit membership probe inside buckets."""
 
@@ -154,6 +163,8 @@ class EngineStats:
     orderings_explored: int = 0
     quarantined: int = 0
     pairwise_matches: int = 0
+    kernel_batched: int = 0
+    kernel_scalar: int = 0
     store_seeded: int = 0
     store_hits: int = 0
     store_new_classes: int = 0
@@ -318,27 +329,36 @@ def _probe_candidates(
 ) -> Optional[Tuple[int, NpnTransform]]:
     n = f.n
     mask = bitops.table_mask(n)
+    half = (1 << n) >> 1
     neg_limit = options.match_options.hard_enumeration_limit
+    # Raw per-variable weight analysis: pole forced by the unbalance
+    # direction (pcw > ncw is the canonicalizer's positive M-pole,
+    # i.e. no negation), both poles tried for balanced variables.  The
+    # weight vector comes from the function's cache (batch-kernel
+    # pre-seeded on the engine path); the complement phase derives its
+    # vector as ncw(~f) = 2**(n-1) - ncw(f) instead of recounting, and
+    # only genuinely balanced variables pay the exact dependence check.
+    base_weights = f.cofactor_weights()
+    axis_masks = bitops.axis_masks(n)
     for ff, fo in phase_candidates(f):
         out_mask = mask if fo else 0
         bits = ff.bits
-        # Raw per-variable weight analysis: pole forced by the unbalance
-        # direction (pcw > ncw is the canonicalizer's positive M-pole,
-        # i.e. no negation), both poles tried for balanced variables.
+        if bits == f.bits:
+            weights = base_weights
+        else:
+            weights = tuple((half - a, half - b) for a, b in base_weights)
         forced_neg = 0
         balanced_mask = 0
         keys = []
         for v in range(n):
-            span = 1 << v
-            amask = bitops.axis_mask(n, v)
-            lo = bits & amask
-            hi = (bits >> span) & amask
-            ncw = bitops.popcount(lo)
-            pcw = bitops.popcount(hi)
+            ncw, pcw = weights[v]
             if ncw == pcw:
-                if lo != hi:
+                span = 1 << v
+                amask = axis_masks[v]
+                depends = (bits & amask) != ((bits >> span) & amask)
+                if depends:
                     balanced_mask |= span
-                keys.append((0 if lo != hi else 1, (ncw, pcw)))
+                keys.append((0 if depends else 1, (ncw, pcw)))
             else:
                 if ncw > pcw:
                     forced_neg |= 1 << v
@@ -407,6 +427,7 @@ def _classify_bucket(
     cache: CanonicalKeyCache,
     metrics: "_EngineMetrics",
     warm: Sequence[WarmEntry] = (),
+    weights_of: Optional[Dict[Tuple[int, int], Tuple]] = None,
 ) -> Tuple[
     Dict[ClassKey, List[Tuple[int, int]]],
     Dict[Tuple[int, int], Tuple[int, Tuple[Tuple[int, ...], int, bool]]],
@@ -419,6 +440,10 @@ def _classify_bucket(
     keys seed ``known`` (so membership probes can hit them without any
     canonicalization) and their representatives seed the LRU cache (so
     an exact repeat of a stored representative is a dictionary hit).
+    ``weights_of`` optionally maps ``(n, bits)`` to the cofactor-weight
+    vector the batch pre-key kernel already computed, pre-seeding each
+    :class:`TruthTable` so the membership probe and polarity selection
+    skip their per-variable popcounts.
 
     Returns the class map plus the *discovered* classes — the ones whose
     canonical key was neither warm-seeded nor already known — as
@@ -441,6 +466,10 @@ def _classify_bucket(
 
     for n, bits in sorted(items):
         f = TruthTable(n, bits)
+        if weights_of is not None:
+            w = weights_of.get((n, bits))
+            if w is not None:
+                f.prime_weights(w)
         cached = cache.get((n, bits))
         if cached is not None:
             metrics.inc("cache_hits")
@@ -611,7 +640,7 @@ class ClassificationEngine:
             members_of.setdefault((f.n, f.bits), []).append(idx)
         metrics.inc("distinct_functions", len(members_of))
         metrics.inc("duplicates", len(funcs) - len(members_of))
-        buckets = self._bucketize(members_of, metrics)
+        buckets, weights_of = self._bucketize(members_of, metrics)
         metrics.inc("prekey_seconds", time.perf_counter() - t0)
 
         # Warm start: pull the store's classes for every bucket pre-key.
@@ -656,9 +685,12 @@ class ClassificationEngine:
         else:
             t0 = time.perf_counter()
             evictions_before = self.cache.evictions
+            # Kernel-computed weight vectors ride along on the in-process
+            # path only; worker payloads stay lean (workers recompute the
+            # few vectors they need lazily).
             for items, warm in bucket_lists:
                 bucket_classes, found = _classify_bucket(
-                    items, self.options, self.cache, metrics, warm
+                    items, self.options, self.cache, metrics, warm, weights_of
                 )
                 for key, members in bucket_classes.items():
                     raw.setdefault(key, []).extend(members)
@@ -696,19 +728,42 @@ class ClassificationEngine:
 
     def _bucketize(
         self, members_of: Dict[Tuple[int, int], List[int]], metrics: _EngineMetrics
-    ) -> Dict[Tuple, List[Tuple[int, int]]]:
+    ) -> Tuple[Dict[Tuple, List[Tuple[int, int]]], Dict[Tuple[int, int], Tuple]]:
         """Group distinct functions by pre-key (two-tier: the fine key is
-        only computed inside coarse buckets that collided)."""
+        only computed inside coarse buckets that collided).
+
+        Same-width groups large enough for the bit-parallel kernel (per
+        ``options.kernel``, see :func:`repro.kernels.should_batch`) get
+        their coarse pre-keys — and cofactor-weight vectors, returned as
+        the second element for :class:`TruthTable` pre-seeding — from
+        one packed pass; the rest take the scalar
+        :func:`~repro.engine.prekey.coarse_prekey`.  Both paths emit
+        identical keys, so bucket contents never depend on the kernel
+        mode.
+        """
         buckets: Dict[Tuple, List[Tuple[int, int]]] = {}
+        weights_of: Dict[Tuple[int, int], Tuple] = {}
         if not self.options.use_prekey:
             for n, bits in members_of:
                 buckets.setdefault((n,), []).append((n, bits))
         else:
             coarse: Dict[Tuple, List[Tuple[int, int]]] = {}
+            by_n: Dict[int, List[int]] = {}
             for n, bits in members_of:
-                coarse.setdefault(coarse_prekey(TruthTable(n, bits)), []).append(
-                    (n, bits)
-                )
+                by_n.setdefault(n, []).append(bits)
+            for n, group in sorted(by_n.items()):
+                if kernels.should_batch(n, len(group), self.options.kernel):
+                    keys, weights = kernels.coarse_prekeys(group, n)
+                    metrics.inc("kernel_batched", len(group))
+                    for bits, ckey, w in zip(group, keys, weights):
+                        coarse.setdefault(ckey, []).append((n, bits))
+                        weights_of[(n, bits)] = w
+                else:
+                    metrics.inc("kernel_scalar", len(group))
+                    for bits in group:
+                        coarse.setdefault(
+                            coarse_prekey(TruthTable(n, bits)), []
+                        ).append((n, bits))
             for ckey, items in coarse.items():
                 if len(items) == 1:
                     buckets[ckey] = items
@@ -721,7 +776,7 @@ class ClassificationEngine:
         metrics.inc(
             "singleton_buckets", sum(1 for v in buckets.values() if len(v) == 1)
         )
-        return buckets
+        return buckets, weights_of
 
 
 def classify_batch(

@@ -1,0 +1,128 @@
+"""Bit-parallel batch kernels: SIMD-on-bigints for the hot paths.
+
+This package packs a batch of ``B`` truth tables (width ``2**n``) into
+the lanes of one wide Python integer and replaces per-function Python
+loops with a handful of big-integer operations that CPython executes in
+C.  The layer is dependency-free (no numpy): the "vector unit" is the
+arbitrary-precision integer itself.
+
+Modules
+-------
+:mod:`repro.kernels.lanes`
+    Lane layout, packing/extraction, replicated-mask builders.
+:mod:`repro.kernels.popcount`
+    Per-lane weights and the shared popcount butterfly that yields the
+    total weight and all ``2n`` cofactor weights of every lane at once.
+:mod:`repro.kernels.prekey`
+    The fused pipeline producing the engine's coarse NPN pre-keys plus
+    cofactor-weight vectors for a whole bucket in one pass.
+:mod:`repro.kernels.transform`
+    Lane-wise axis flips, input negation, Moebius and FPRM transforms.
+
+Dispatch
+--------
+Call sites pick the implementation through :func:`should_batch`, driven
+by a ``kernel`` mode string: ``"scalar"`` never batches, ``"batch"``
+always batches where the kernel supports the width, and ``"auto"``
+(default) batches once a group reaches :data:`KERNEL_MIN_BATCH` lanes —
+below that the packing overhead eats the win.  The pre-key pipeline
+needs byte-aligned lanes (``n >= 3``); narrower groups silently take
+the scalar path, counted in ``kernels.scalar_fallbacks``.
+
+When observability is enabled (:mod:`repro.obs.runtime`) the wrappers
+record call counts, lane throughput and wall time under the
+``kernels.*`` namespace.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence, Tuple
+
+from repro.kernels import lanes, popcount, prekey, transform
+from repro.kernels.lanes import pack_tables, unpack_tables
+from repro.kernels.popcount import (
+    AUTO_REDUCE_MAX_N,
+    batch_weights,
+    butterfly,
+    packed_weights,
+)
+from repro.kernels.prekey import batch_cofactor_weights, batch_prekeys
+from repro.kernels.transform import (
+    batch_flip_axis,
+    batch_fprm,
+    batch_mobius,
+    batch_negate_inputs,
+    batch_output_complement,
+)
+from repro.obs import runtime as _obs
+
+__all__ = [
+    "AUTO_REDUCE_MAX_N",
+    "KERNEL_MIN_BATCH",
+    "KERNEL_MODES",
+    "batch_cofactor_weights",
+    "batch_flip_axis",
+    "batch_fprm",
+    "batch_mobius",
+    "batch_negate_inputs",
+    "batch_output_complement",
+    "batch_prekeys",
+    "batch_weights",
+    "butterfly",
+    "coarse_prekeys",
+    "lanes",
+    "pack_tables",
+    "packed_weights",
+    "popcount",
+    "prekey",
+    "should_batch",
+    "transform",
+    "unpack_tables",
+]
+
+KERNEL_MODES = ("auto", "scalar", "batch")
+"""Valid values of the ``kernel`` dispatch mode."""
+
+KERNEL_MIN_BATCH = 8
+"""``"auto"`` crossover: batch groups of at least this many distinct
+functions.  The packed pipeline was never slower than scalar from 16
+lanes up in BENCH_kernels.json; 8 leaves margin for the pack cost on
+cache-cold lanes."""
+
+
+def should_batch(n: int, count: int, kernel: str = "auto") -> bool:
+    """Whether a group of ``count`` ``n``-variable functions should go
+    through the packed pre-key pipeline under dispatch mode ``kernel``."""
+    if kernel not in KERNEL_MODES:
+        raise ValueError(
+            f"unknown kernel mode {kernel!r}; expected one of {KERNEL_MODES}"
+        )
+    if kernel == "scalar" or count < 2 or not prekey.supported(n):
+        if kernel != "scalar" and count >= 2 and _obs.enabled:
+            _obs.registry.counter("kernels.scalar_fallbacks").inc()
+        return False
+    if kernel == "batch":
+        return True
+    return count >= KERNEL_MIN_BATCH
+
+
+def coarse_prekeys(
+    bits_list: Sequence[int], n: int
+) -> Tuple[List[tuple], List[tuple]]:
+    """Instrumented entry point for the fused pre-key + weights kernel.
+
+    Identical to :func:`repro.kernels.prekey.batch_prekeys`, plus
+    ``kernels.*`` metrics when observability is on.  Callers gate on
+    :func:`should_batch`; this function itself still falls back to
+    scalar below the supported width.
+    """
+    if not _obs.enabled:
+        return batch_prekeys(bits_list, n)
+    t0 = time.perf_counter()
+    result = batch_prekeys(bits_list, n)
+    registry = _obs.registry
+    registry.counter("kernels.prekey_calls").inc()
+    registry.counter("kernels.prekey_lanes").inc(len(bits_list))
+    registry.counter("kernels.prekey_seconds").inc(time.perf_counter() - t0)
+    return result

@@ -1,0 +1,98 @@
+"""Batch popcount: per-lane on-set weights and the shared half-weight tree.
+
+The heart of the kernel layer is one *shared popcount butterfly* over a
+packed batch (:func:`butterfly`).  Its main chain widens the counting
+fields one axis at a time — after round ``j`` every ``2**(j+1)``-bit
+field of ``S`` holds the popcount of that block — and before each
+widening the even-field slice ``S & m`` is saved.  That slice, reduced
+independently over the *remaining* axes, is exactly the negative
+cofactor weight ``ncw_i`` of axis ``i`` for every lane: the branch point
+already separated the ``x_i = 0`` half-blocks from the ``x_i = 1``
+half-blocks.  The batch therefore gets the full weight *and* all ``2n``
+cofactor weights (``pcw_i = |f| - ncw_i``) from ``n + n*(n-1)/2``
+butterfly rounds instead of ``2n`` masked popcounts per function.
+
+The round body uses the 4-op form ``t = S & m; S = t + ((S >> w) & m)``
+rather than the textbook ``(S + (S >> w)) & m``: the latter saves an op
+on paper but measures slower in CPython because the addition runs at
+double width before masking.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.kernels import lanes
+
+AUTO_REDUCE_MAX_N = 2
+"""``batch_weights`` strategy crossover.  BENCH_kernels.json measured a
+plain ``int.bit_count`` per lane beating the packed tree reduction at
+*every* width on CPython 3.11 — a single C popcount is simply too cheap
+to amortize the packing — so ``"auto"`` never picks ``"reduce"`` for
+standalone total weights (the constant sits below the kernel's ``n >= 3``
+floor).  The reduction still earns its keep where its intermediate
+levels are reused: the pre-key pipeline reads all ``2n`` cofactor
+weights out of one shared butterfly."""
+
+
+def butterfly(packed: int, n: int, count: int) -> Tuple[int, List[int]]:
+    """Shared popcount tree over a packed batch.
+
+    Returns ``(S, ncw)``: ``S`` has each lane's total weight in its low
+    ``n + 1`` bits, and ``ncw[i]`` has each lane's negative cofactor
+    weight of axis ``i`` in the same position.  Lanes must be the packed
+    layout of :func:`repro.kernels.lanes.pack_tables` with ``n >= 3``
+    (byte-aligned lanes of exactly ``2**n`` bits).
+    """
+    total_bits = count << n
+    S = packed
+    branches = []
+    for j in range(n):
+        w = 1 << j
+        m = lanes.rep_mask(w, total_bits)
+        t = S & m
+        branches.append(t)
+        S = t + ((S >> w) & m)
+    ncw = []
+    for i in range(n):
+        E = branches[i]
+        for j in range(i + 1, n):
+            w = 1 << j
+            m = lanes.rep_mask(w, total_bits)
+            E = (E & m) + ((E >> w) & m)
+        ncw.append(E)
+    return S, ncw
+
+
+def packed_weights(packed: int, n: int, count: int) -> Sequence[int]:
+    """Per-lane weights of an already-packed batch via the main chain."""
+    total_bits = count << n
+    S = packed
+    for j in range(n):
+        w = 1 << j
+        m = lanes.rep_mask(w, total_bits)
+        S = (S & m) + ((S >> w) & m)
+    return lanes.extract_lanes(S, lanes.lane_bytes(n), count, 1 << n)
+
+
+def batch_weights(
+    bits_list: Sequence[int], n: int, strategy: str = "auto"
+) -> List[int]:
+    """On-set weight of every table in the batch.
+
+    ``strategy``: ``"extract"`` calls ``int.bit_count`` per lane (one C
+    call each), ``"reduce"`` packs the batch and runs the masked strided
+    reduction, ``"auto"`` picks by the measured crossover
+    (:data:`AUTO_REDUCE_MAX_N`).  All strategies return identical
+    values; the reduce path additionally requires ``3 <= n``.
+    """
+    if strategy == "auto":
+        strategy = "reduce" if 3 <= n <= AUTO_REDUCE_MAX_N else "extract"
+    if strategy == "extract" or n < 3:
+        return [b.bit_count() for b in bits_list]
+    if strategy != "reduce":
+        raise ValueError(f"unknown batch_weights strategy {strategy!r}")
+    count = len(bits_list)
+    if not count:
+        return []
+    return list(packed_weights(lanes.pack_tables(bits_list, n), n, count))

@@ -1,0 +1,101 @@
+"""Batch structural transforms: axis flips, input negation, the GF(2)
+Moebius butterfly and the polarity-aware FPRM transform, all lane-wise.
+
+Every transform here is the packed-batch twin of a scalar routine in
+:mod:`repro.utils.bitops` / :mod:`repro.grm.transform` and returns
+bit-identical per-lane results.  The per-axis masks replicate the
+scalar ``axis_mask`` pattern into every lane (the pattern's period
+``2**(i+1)`` divides the lane stride, so the replicated mask is exact),
+which keeps all shifts lane-local: bits that a shift drags across a
+lane boundary are masked away in the same expression.
+
+Unlike the pre-key pipeline these kernels work for *every* ``n``:
+sub-byte tables (``n < 3``) simply live in the low bits of a one-byte
+lane, and the masked algebra never disturbs the slack bits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.kernels import lanes
+from repro.utils import bitops
+
+
+def _flip_axis_packed(x: int, n: int, i: int, total_bits: int) -> int:
+    w = 1 << i
+    m = lanes.rep_axis(n, i, total_bits)
+    return ((x & m) << w) | ((x >> w) & m)
+
+
+def batch_flip_axis(bits_list: Sequence[int], n: int, i: int) -> List[int]:
+    """Per-lane :func:`repro.utils.bitops.flip_axis`."""
+    count = len(bits_list)
+    if not count:
+        return []
+    total_bits = count * lanes.lane_bits(n)
+    x = _flip_axis_packed(lanes.pack_tables(bits_list, n), n, i, total_bits)
+    return lanes.unpack_tables(x, n, count)
+
+
+def batch_negate_inputs(
+    bits_list: Sequence[int], n: int, neg_mask: int
+) -> List[int]:
+    """Per-lane :func:`repro.utils.bitops.negate_inputs`."""
+    count = len(bits_list)
+    if not count:
+        return []
+    total_bits = count * lanes.lane_bits(n)
+    x = lanes.pack_tables(bits_list, n)
+    for i in bitops.iter_bits(neg_mask):
+        x = _flip_axis_packed(x, n, i, total_bits)
+    return lanes.unpack_tables(x, n, count)
+
+
+def batch_output_complement(bits_list: Sequence[int], n: int) -> List[int]:
+    """Per-lane ``bits ^ table_mask(n)`` (complement every function)."""
+    count = len(bits_list)
+    if not count:
+        return []
+    total_bits = count * lanes.lane_bits(n)
+    x = lanes.pack_tables(bits_list, n)
+    x ^= lanes.rep_const(bitops.table_mask(n), lanes.lane_bits(n), total_bits)
+    return lanes.unpack_tables(x, n, count)
+
+
+def _mobius_packed(x: int, n: int, total_bits: int) -> int:
+    for i in range(n):
+        x ^= (x & lanes.rep_axis(n, i, total_bits)) << (1 << i)
+    return x
+
+
+def batch_mobius(bits_list: Sequence[int], n: int) -> List[int]:
+    """Per-lane :func:`repro.utils.bitops.mobius` (an involution)."""
+    count = len(bits_list)
+    if not count:
+        return []
+    total_bits = count * lanes.lane_bits(n)
+    x = _mobius_packed(lanes.pack_tables(bits_list, n), n, total_bits)
+    return lanes.unpack_tables(x, n, count)
+
+
+def batch_fprm(bits_list: Sequence[int], n: int, polarity: int) -> List[int]:
+    """GRM coefficient vectors of a whole batch under one polarity.
+
+    Per-lane equal to
+    :func:`repro.grm.transform.fprm_coefficients(bits, n, polarity)`:
+    flip every negative-polarity axis, then run the Moebius butterfly —
+    both stages on the packed batch.
+    """
+    if not 0 <= polarity < (1 << n):
+        raise ValueError("polarity vector out of range")
+    count = len(bits_list)
+    if not count:
+        return []
+    total_bits = count * lanes.lane_bits(n)
+    x = lanes.pack_tables(bits_list, n)
+    neg = ~polarity & ((1 << n) - 1)
+    for i in bitops.iter_bits(neg):
+        x = _flip_axis_packed(x, n, i, total_bits)
+    x = _mobius_packed(x, n, total_bits)
+    return lanes.unpack_tables(x, n, count)

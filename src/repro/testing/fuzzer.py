@@ -25,9 +25,11 @@ from __future__ import annotations
 
 import random
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import kernels
 from repro.baselines import exhaustive, signature_matcher, spectral
 from repro.boolfunc.transform import NpnTransform
 from repro.boolfunc.truthtable import TruthTable
@@ -212,12 +214,29 @@ class FuzzConfig:
     shrink_evals: int = 600
     corpus_dir: Optional[str] = None
     max_discrepancies: int = 20
+    prekey_filter: str = "annotate"
+    """Batch pre-key prefilter over drawn pairs: ``"off"`` draws one pair
+    at a time (the historical stream); ``"annotate"`` prefetches chunks,
+    computes both functions' npn-invariant coarse pre-keys through the
+    bit-parallel kernel and turns differing-key unknown-verdict pairs
+    into known-inequivalent ground truth (a sound proof — the pre-key is
+    npn-invariant); ``"discard"`` additionally skips the matcher run on
+    such pairs entirely, spending the budget on undecided pairs."""
+    prekey_chunk: int = 32
+    """Pairs prefetched per pre-key kernel batch."""
 
     def __post_init__(self) -> None:
         if not 1 <= self.min_n <= self.max_n:
             raise ValueError(
                 f"need 1 <= min_n <= max_n, got min_n={self.min_n} max_n={self.max_n}"
             )
+        if self.prekey_filter not in ("off", "annotate", "discard"):
+            raise ValueError(
+                f"prekey_filter must be off/annotate/discard, "
+                f"got {self.prekey_filter!r}"
+            )
+        if self.prekey_chunk < 1:
+            raise ValueError("prekey_chunk must be positive")
 
     def resolved_iters(self) -> Optional[int]:
         if self.iters is None and self.budget_seconds is None:
@@ -235,6 +254,8 @@ class FuzzReport:
     pair_counts: Dict[str, int] = field(default_factory=dict)
     matcher_calls: Dict[str, int] = field(default_factory=dict)
     metamorphic_runs: int = 0
+    prekey_decided: int = 0
+    prekey_discarded: int = 0
     discrepancies: List[Discrepancy] = field(default_factory=list)
 
     @property
@@ -244,7 +265,9 @@ class FuzzReport:
     def summary(self) -> str:
         lines = [
             f"fuzz seed={self.seed}: {self.iterations} iterations in "
-            f"{self.elapsed:.1f}s, {self.metamorphic_runs} metamorphic runs",
+            f"{self.elapsed:.1f}s, {self.metamorphic_runs} metamorphic runs, "
+            f"{self.prekey_decided} prekey-decided "
+            f"({self.prekey_discarded} discarded)",
             "pairs: "
             + ", ".join(f"{k}={v}" for k, v in sorted(self.pair_counts.items())),
             "matcher calls: "
@@ -279,6 +302,29 @@ def _draw_pair(rng: random.Random, config: FuzzConfig) -> OraclePair:
         [g for g, _ in _GENERATOR_WEIGHTS], weights=[w for _, w in _GENERATOR_WEIGHTS]
     )[0]
     return oracle_mod.PAIR_GENERATORS[name](n, rng)
+
+
+def _prekey_screen(pairs: Sequence[OraclePair]) -> List[Tuple[OraclePair, bool]]:
+    """Compute every drawn function's coarse pre-key in one kernel batch.
+
+    Returns ``(pair, keys_differ)`` per pair.  The coarse pre-key is
+    npn-invariant, so differing keys are a *sound* inequivalence proof;
+    what the caller does with it (annotate or discard) is policy.
+    Functions are grouped by width so each group goes through the packed
+    pipeline (scalar fallback below its supported width).
+    """
+    by_n: Dict[int, List[int]] = {}
+    for p in pairs:
+        by_n.setdefault(p.f.n, []).append(p.f.bits)
+        by_n.setdefault(p.g.n, []).append(p.g.bits)
+    keys: Dict[Tuple[int, int], tuple] = {}
+    for n, bits_list in by_n.items():
+        group_keys, _ = kernels.batch_prekeys(bits_list, n)
+        for b, k in zip(bits_list, group_keys):
+            keys[(n, b)] = k
+    return [
+        (p, keys[(p.f.n, p.f.bits)] != keys[(p.g.n, p.g.bits)]) for p in pairs
+    ]
 
 
 def _shrink_discrepancy(
@@ -327,6 +373,10 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
     report = FuzzReport(seed=config.seed)
     iters = config.resolved_iters()
     start = time.monotonic()
+    # With the prefilter on, pairs are drawn in chunks so the pre-key
+    # kernel amortizes over a whole batch; draws stay sequential from the
+    # one seeded RNG, so a run is still fully deterministic per config.
+    pending: deque = deque()
     while True:
         if iters is not None and report.iterations >= iters:
             break
@@ -335,11 +385,46 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
             break
         if len(report.discrepancies) >= config.max_discrepancies:
             break
-        pair = _draw_pair(rng, config)
+        if not pending:
+            if config.prekey_filter == "off":
+                pending.append((_draw_pair(rng, config), False))
+            else:
+                chunk = [
+                    _draw_pair(rng, config) for _ in range(config.prekey_chunk)
+                ]
+                pending.extend(_prekey_screen(chunk))
+        pair, keys_differ = pending.popleft()
         report.iterations += 1
         report.pair_counts[pair.generator] = (
             report.pair_counts.get(pair.generator, 0) + 1
         )
+        if keys_differ:
+            if pair.verdict is True:
+                # The pre-key must be constant on an npn class; differing
+                # keys on a planted-equivalent pair indict the kernel (or
+                # the pre-key itself), not the matchers.
+                report.discrepancies.append(
+                    Discrepancy(
+                        "prekey-invariance",
+                        "coarse pre-keys differ on a planted-equivalent pair",
+                        Witness(
+                            n=pair.f.n,
+                            f_bits=pair.f.bits,
+                            g_bits=pair.g.bits,
+                            expected="equivalent",
+                            kind="prekey",
+                            description=f"generator={pair.generator}",
+                            seed=config.seed,
+                        ),
+                    )
+                )
+                continue
+            if pair.verdict is None:
+                report.prekey_decided += 1
+                if config.prekey_filter == "discard":
+                    report.prekey_discarded += 1
+                    continue
+                pair = OraclePair(pair.f, pair.g, False, pair.generator)
         for spec in matchers:
             if spec.applicable(pair.f.n):
                 report.matcher_calls[spec.name] = (

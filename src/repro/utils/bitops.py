@@ -47,6 +47,18 @@ def axis_mask(n: int, i: int) -> int:
     return mask
 
 
+@lru_cache(maxsize=None)
+def axis_masks(n: int) -> Tuple[int, ...]:
+    """All ``n`` axis masks at once, as a tuple indexed by variable.
+
+    Hot loops that sweep every variable of a function (cofactor-weight
+    vectors, the membership probe's balance analysis, the batch kernels'
+    scalar fallbacks) pay one cached-tuple lookup instead of ``n``
+    per-variable ``lru_cache`` calls.
+    """
+    return tuple(axis_mask(n, i) for i in range(n))
+
+
 def _check_n(n: int) -> None:
     if not 0 <= n <= MAX_VARS:
         raise ValueError(f"variable count {n} outside supported range 0..{MAX_VARS}")
