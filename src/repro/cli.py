@@ -710,11 +710,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--prekey-filter",
         choices=("off", "annotate", "discard"),
-        default="annotate",
+        default="off",
         dest="prekey_filter",
         help="batch pre-key prefilter on drawn pairs: annotate "
         "unknown-verdict pairs whose npn-invariant pre-keys differ as "
-        "known-inequivalent, or discard them without a matcher run",
+        "known-inequivalent, or discard them without a matcher run "
+        "(default off: both modes change the seeded pair stream)",
     )
     p.add_argument(
         "--self-check",

@@ -84,14 +84,22 @@ def batch_weights(
     call each), ``"reduce"`` packs the batch and runs the masked strided
     reduction, ``"auto"`` picks by the measured crossover
     (:data:`AUTO_REDUCE_MAX_N`).  All strategies return identical
-    values; the reduce path additionally requires ``3 <= n``.
+    values; the reduce path additionally requires ``3 <= n`` and raises
+    below that.
     """
     if strategy == "auto":
-        strategy = "reduce" if 3 <= n <= AUTO_REDUCE_MAX_N else "extract"
-    if strategy == "extract" or n < 3:
+        # Measured crossover: extract wins at every width (see
+        # AUTO_REDUCE_MAX_N, kept below the kernel's n >= 3 floor), so
+        # auto always extracts until a future benchmark moves it.
+        strategy = "extract"
+    if strategy == "extract":
         return [b.bit_count() for b in bits_list]
     if strategy != "reduce":
         raise ValueError(f"unknown batch_weights strategy {strategy!r}")
+    if n < 3:
+        raise ValueError(
+            f"batch_weights strategy 'reduce' requires n >= 3, got n={n}"
+        )
     count = len(bits_list)
     if not count:
         return []

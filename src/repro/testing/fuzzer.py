@@ -214,14 +214,17 @@ class FuzzConfig:
     shrink_evals: int = 600
     corpus_dir: Optional[str] = None
     max_discrepancies: int = 20
-    prekey_filter: str = "annotate"
-    """Batch pre-key prefilter over drawn pairs: ``"off"`` draws one pair
-    at a time (the historical stream); ``"annotate"`` prefetches chunks,
-    computes both functions' npn-invariant coarse pre-keys through the
-    bit-parallel kernel and turns differing-key unknown-verdict pairs
-    into known-inequivalent ground truth (a sound proof — the pre-key is
-    npn-invariant); ``"discard"`` additionally skips the matcher run on
-    such pairs entirely, spending the budget on undecided pairs."""
+    prekey_filter: str = "off"
+    """Batch pre-key prefilter over drawn pairs: ``"off"`` (the default)
+    draws one pair at a time, preserving the exact pre-kernel pair
+    stream of every historical seed; ``"annotate"`` prefetches chunks of
+    ``prekey_chunk`` pairs, computes both functions' npn-invariant
+    coarse pre-keys through the bit-parallel kernel and turns
+    differing-key unknown-verdict pairs into known-inequivalent ground
+    truth (a sound proof — the pre-key is npn-invariant); ``"discard"``
+    additionally skips the matcher run on such pairs entirely, spending
+    the budget on undecided pairs.  Both non-off modes change the pair
+    stream a given seed produces, so they are opt-in."""
     prekey_chunk: int = 32
     """Pairs prefetched per pre-key kernel batch."""
 

@@ -52,6 +52,25 @@ def test_batch_prekeys_and_weights_match_scalar(n):
     assert kernels.batch_cofactor_weights(bl, n) == weights
 
 
+@pytest.mark.parametrize("n", (16, 17))
+def test_batch_prekeys_wide_tables(n):
+    # Regression: lane values (weights) reach 2**n >= 65536 here, which
+    # needs more than two extracted byte columns per lane; constant-1 at
+    # n=16 used to raise IndexError inside batch_prekeys.
+    rng = random.Random(600 + n)
+    size = 1 << n
+    bl = [0, (1 << size) - 1, bitops.axis_mask(n, n - 1)]
+    bl += [rng.getrandbits(size) for _ in range(3)]
+    keys, weights = kernels.batch_prekeys(bl, n)
+    assert keys == [coarse_prekey(TruthTable(n, b)) for b in bl]
+    assert weights == scalar_weights(bl, n)
+
+
+def test_batch_weights_reduce_rejects_small_n():
+    with pytest.raises(ValueError):
+        kernels.batch_weights([0b01, 0b11], 1, "reduce")
+
+
 @pytest.mark.parametrize("n", range(0, 9))
 def test_batch_weights_strategies_agree(n):
     rng = random.Random(200 + n)
