@@ -1,0 +1,246 @@
+"""Dispatcher-vs-pure-GRM matching cost across signature tiers.
+
+Standalone (argparse, no pytest) so CI can run it as a smoke step::
+
+    PYTHONPATH=src python benchmarks/bench_signatures.py --guardrail
+
+Two workloads, each matched under two configurations:
+
+* ``dispatcher`` — the default :class:`MatchOptions`: the tier
+  dispatcher escalates weights -> influence -> sensitivity and only
+  falls through to GRM construction when every truth-table tier
+  collides;
+* ``pure-grm`` — ``use_tier_dispatch=False`` with the paper's original
+  signature families only, i.e. every inequivalence is settled by
+  GRM-derived signatures or the search itself.
+
+The workloads:
+
+* ``adversarial`` — the committed weight-twin corpus
+  (``tests/corpus/weight_twins.json``), amplified by seeded random npn
+  transforms of both sides (which preserve the verdict *and* the coarse
+  pre-key collision).  Every pair defeats the weight tier by
+  construction, so this isolates what influence/sensitivity buy over
+  building GRM forms.  Acceptance: dispatcher >= 2x faster.
+* ``random`` — the fuzzer's seeded mixed pair stream (equivalent /
+  inequivalent / weight-twin / random, n = 3..7).  Most pairs are
+  settled by the weight tier or genuinely need the search; acceptance:
+  the dispatcher is not slower (>= 0.9x, tolerating timer noise).
+
+Both configurations run on the same pairs inside one invocation (noise
+cancels out of the ratio), each side best-of ``--trials`` with the
+sensitivity/influence memo caches cleared per trial so cold costs are
+measured.  Verdicts are cross-checked pair by pair — a disagreement
+aborts the benchmark.  Per-family prune win rates on the adversarial
+corpus (which tier settled how many pairs) land in the report for
+EXPERIMENTS.md.  Results go to ``BENCH_signatures.json``.
+
+``--guardrail`` runs a reduced adversarial cell and exits non-zero when
+the dispatcher is slower than pure GRM — far below the 2x acceptance
+target because shared CI boxes are noisy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+import time
+from collections import Counter
+from pathlib import Path
+
+from repro.boolfunc.transform import NpnTransform
+from repro.boolfunc.truthtable import TruthTable
+from repro.core import sensitivity as sens_mod
+from repro.core.matcher import MatchOptions, match_with_stats
+from repro.testing import corpus as corpus_mod
+from repro.testing import oracle as oracle_mod
+
+CORPUS_PATH = Path(__file__).resolve().parents[1] / "tests" / "corpus" / "weight_twins.json"
+
+DISPATCHER = MatchOptions()
+PURE_GRM = MatchOptions(
+    use_tier_dispatch=False,
+    signature_families=("weights", "vic", "inc", "primes"),
+)
+ACCEPT_ADVERSARIAL = 2.0
+ACCEPT_RANDOM = 0.9
+
+
+def adversarial_pairs(seed: int, amplify: int):
+    """The committed weight-twin corpus, amplified by random transforms.
+
+    Transforming both sides independently preserves npn-inequivalence
+    and keeps the coarse pre-keys colliding (they are npn-invariant and
+    were equal to begin with), so every amplified pair still defeats
+    the weight tier.
+    """
+    rng = random.Random(seed)
+    base = corpus_mod.load_weight_twins(CORPUS_PATH)
+    if not base:
+        raise SystemExit(f"missing corpus: {CORPUS_PATH}")
+    pairs = [(p.n, p.f_bits, p.g_bits) for p in base]
+    for _ in range(amplify):
+        for p in base:
+            tf = NpnTransform.random(p.n, rng)
+            tg = NpnTransform.random(p.n, rng)
+            pairs.append((p.n, tf.apply(p.f).bits, tg.apply(p.g).bits))
+    return pairs
+
+
+def random_pairs(seed: int, count: int, min_n: int = 3, max_n: int = 7):
+    rng = random.Random(seed)
+    names = [g for g, _ in (("equivalent", 35), ("inequivalent", 20),
+                            ("weight-twin", 25), ("random", 20))]
+    weights = [35, 20, 25, 20]
+    out = []
+    for _ in range(count):
+        n = rng.randrange(min_n, max_n + 1)
+        name = rng.choices(names, weights=weights)[0]
+        pair = oracle_mod.PAIR_GENERATORS[name](n, rng)
+        out.append((pair.f.n, pair.f.bits, pair.g.bits))
+    return out
+
+
+def _clear_caches() -> None:
+    sens_mod._influence_vector.cache_clear()
+    sens_mod._sensitivity_data.cache_clear()
+
+
+def run_config(pairs, options):
+    """One full pass: fresh tables per call, cold memo caches."""
+    _clear_caches()
+    verdicts = []
+    tiers = Counter()
+    t0 = time.perf_counter()
+    for n, fb, gb in pairs:
+        outcome = match_with_stats(TruthTable(n, fb), TruthTable(n, gb), options)
+        verdicts.append(outcome.transform is not None)
+        if outcome.stats.differentiated_by is not None:
+            tiers[outcome.stats.differentiated_by] += 1
+    return time.perf_counter() - t0, verdicts, tiers
+
+
+def bench_workload(name, pairs, trials):
+    best = {}
+    tiers = Counter()
+    verdicts = {}
+    for label, options in (("dispatcher", DISPATCHER), ("pure_grm", PURE_GRM)):
+        for _ in range(trials):
+            dt, vs, ts = run_config(pairs, options)
+            if label not in best or dt < best[label]:
+                best[label] = dt
+            verdicts[label] = vs
+            if label == "dispatcher":
+                tiers = ts
+    if verdicts["dispatcher"] != verdicts["pure_grm"]:
+        bad = [
+            pairs[i]
+            for i, (a, b) in enumerate(
+                zip(verdicts["dispatcher"], verdicts["pure_grm"])
+            )
+            if a != b
+        ]
+        raise SystemExit(f"VERDICT MISMATCH on {name}: {bad[:5]}")
+    speedup = best["pure_grm"] / best["dispatcher"]
+    inequivalent = sum(1 for v in verdicts["dispatcher"] if not v)
+    cell = {
+        "pairs": len(pairs),
+        "inequivalent": inequivalent,
+        "dispatcher_seconds": best["dispatcher"],
+        "pure_grm_seconds": best["pure_grm"],
+        "speedup": speedup,
+        "differentiated_by": dict(sorted(tiers.items())),
+    }
+    print(
+        f"{name:11s}  {len(pairs):4d} pairs  "
+        f"dispatcher {best['dispatcher'] * 1e3:8.1f}ms  "
+        f"pure-grm {best['pure_grm'] * 1e3:8.1f}ms  "
+        f"speedup {speedup:5.2f}x  tiers {dict(sorted(tiers.items()))}"
+    )
+    return cell
+
+
+def run_guardrail(trials: int, seed: int) -> int:
+    pairs = adversarial_pairs(seed, amplify=3)
+    cell = bench_workload("adversarial", pairs, trials)
+    if cell["speedup"] < 1.0:
+        print(
+            "GUARDRAIL FAILED: dispatcher slower than pure GRM on the "
+            "adversarial corpus",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--seed", type=int, default=11)
+    ap.add_argument("--trials", type=int, default=3, help="best-of trials per side")
+    ap.add_argument("--amplify", type=int, default=8,
+                    help="random-transform copies of each corpus pair")
+    ap.add_argument("--random-pairs", type=int, default=400)
+    ap.add_argument("--quick", action="store_true",
+                    help="smaller workloads, no acceptance gate")
+    ap.add_argument("--guardrail", action="store_true",
+                    help="CI mode: adversarial cell only, fail if dispatcher is slower")
+    ap.add_argument("--out", default=None, help="JSON output path")
+    args = ap.parse_args(argv)
+
+    if args.guardrail:
+        return run_guardrail(max(args.trials, 3), args.seed)
+
+    amplify = 2 if args.quick else args.amplify
+    n_random = 100 if args.quick else args.random_pairs
+    cells = {
+        "adversarial": bench_workload(
+            "adversarial", adversarial_pairs(args.seed, amplify), args.trials
+        ),
+        "random": bench_workload(
+            "random", random_pairs(args.seed + 1, n_random), args.trials
+        ),
+    }
+
+    report = {
+        "benchmark": "bench_signatures",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "seed": args.seed,
+        "trials": args.trials,
+        "amplify": amplify,
+        "corpus": str(CORPUS_PATH.relative_to(CORPUS_PATH.parents[2])),
+        "configs": {
+            "dispatcher": "MatchOptions() [tier dispatch on, all families]",
+            "pure_grm": "use_tier_dispatch=False, families=(weights,vic,inc,primes)",
+        },
+        "cells": cells,
+    }
+    out = Path(args.out) if args.out else Path(__file__).resolve().parents[1] / "BENCH_signatures.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if args.quick:
+        return 0
+    failed = False
+    if cells["adversarial"]["speedup"] < ACCEPT_ADVERSARIAL:
+        print(
+            f"WARNING: adversarial speedup below {ACCEPT_ADVERSARIAL}x",
+            file=sys.stderr,
+        )
+        failed = True
+    if cells["random"]["speedup"] < ACCEPT_RANDOM:
+        print(
+            f"WARNING: dispatcher slower than pure GRM on random pairs "
+            f"(< {ACCEPT_RANDOM}x)",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

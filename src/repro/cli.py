@@ -103,19 +103,27 @@ def cmd_match(args: argparse.Namespace) -> int:
         print(f"not matchable: support sizes differ ({a.table.n} vs {b.table.n})")
         return 1
     explanation = None
+    tier = None
     start = time.perf_counter()
     if args.explain:
+        from repro.core.matcher import match_with_stats
         from repro.obs import render_match_explanation
         from repro.obs import runtime as obs_runtime
 
         with obs_runtime.capture() as (_registry, ring):
-            transform = match(a.table, b.table, allow_output_neg=not args.np_only)
+            outcome = match_with_stats(
+                a.table, b.table, allow_output_neg=not args.np_only
+            )
+        transform = outcome.transform_or_none()
+        tier = outcome.stats.differentiated_by
         explanation = render_match_explanation(ring.records())
     else:
         transform = match(a.table, b.table, allow_output_neg=not args.np_only)
     elapsed = (time.perf_counter() - start) * 1e3
     if transform is None:
         print(f"NOT equivalent ({elapsed:.2f} ms)")
+        if tier is not None:
+            print(f"differentiated by: {tier} tier")
         if explanation:
             print(explanation)
         return 1
@@ -725,7 +733,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--mutant",
-        choices=("drop-negated", "identity-witness", "ignore-output-phase"),
+        choices=(
+            "drop-negated",
+            "identity-witness",
+            "ignore-output-phase",
+            "influence-phase",
+            "sensitivity-unsorted",
+        ),
         default="drop-negated",
         help="which bug to inject with --self-check",
     )

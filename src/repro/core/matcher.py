@@ -12,7 +12,12 @@ npn-equivalence and recover a witnessing :class:`NpnTransform`:
    truth-level NE-symmetry classes so that e.g. parity needs ``n + 1``
    completions rather than ``2**n``.
 3. **Signatures** (Section 4) gate each candidate pair of GRM forms and
-   refine the ordered variable partition.
+   refine the ordered variable partition.  Ahead of all of that, a
+   *tier dispatcher* escalates through ever-richer npn-invariant
+   signature tiers — cofactor weights, then influence vectors, then
+   sensitivity profiles (:mod:`repro.core.sensitivity`) — and stops at
+   the cheapest tier that differentiates the pair, so weight-twin pairs
+   are rejected before any GRM form is built.
 4. **Symmetries** (Section 5) collapse interchangeable variables so the
    backtracking assignment only explores one representative per orbit.
 5. The **cube sets** of the two forms are matched by a partition-guided
@@ -30,6 +35,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.boolfunc.transform import NpnTransform
 from repro.boolfunc.truthtable import TruthTable
+from repro.core import sensitivity as sens_mod
 from repro.core import signatures as sigs_mod
 from repro.core import symmetry as sym_mod
 from repro.core.errors import MatchBudgetExceededError
@@ -69,10 +75,15 @@ class MatchOptions:
     The ablation benchmark switches individual features off.
     """
 
-    signature_families: Tuple[str, ...] = ("weights", "vic", "inc", "primes")
+    signature_families: Tuple[str, ...] = sigs_mod.DEFAULT_FAMILIES
     use_incidence_refinement: bool = True
     use_symmetry_pruning: bool = True
     use_function_signature_gate: bool = True
+    use_tier_dispatch: bool = True
+    """Escalate through npn-invariant signature tiers (weights ->
+    influence -> sensitivity) before any GRM work, stopping at the
+    cheapest tier that differentiates the pair.  Tiers outside
+    ``signature_families`` are skipped."""
     prune_every_assignment: bool = True
     hard_enumeration_limit: int = 4096
 
@@ -84,6 +95,8 @@ class MatchStats:
     phase_pairs_tried: int = 0
     grms_built: int = 0
     signature_rejects: int = 0
+    influence_rejects: int = 0
+    sensitivity_rejects: int = 0
     partition_rejects: int = 0
     search_nodes: int = 0
     leaf_checks: int = 0
@@ -93,6 +106,11 @@ class MatchStats:
     symmetry_skips: int = 0
     backtracks: int = 0
     max_depth: int = 0
+    differentiated_by: Optional[str] = None
+    """Which signature tier settled a non-match: ``"weights"``,
+    ``"influence"`` or ``"sensitivity"`` when the dispatcher pruned
+    before GRM construction, ``"grm"`` when the full pipeline had to
+    decide, ``None`` on a match (or when dispatch is disabled)."""
 
 
 # The paper's signature families, used to label prune events.  A
@@ -284,6 +302,29 @@ def np_match(
         return None
     if bitops.popcount(ff.support()) != bitops.popcount(gg.support()):
         return None
+    fams = options.signature_families
+    # Function-level influence/sensitivity gates: np-invariant (no
+    # output-phase lexmin, both functions are already phase-fixed here),
+    # strictly sharper than the dispatcher's npn tiers and still far
+    # cheaper than one GRM construction.
+    if "influence" in fams and (
+        sens_mod.np_influence_profile(ff) != sens_mod.np_influence_profile(gg)
+    ):
+        stats.influence_rejects += 1
+        if _obs.tracer.wants(TRACE_DETAIL):
+            _obs.tracer.event(
+                "prune", reason="signature_tier", family="influence", stage="np_gate"
+            )
+        return None
+    if "sensitivity" in fams and (
+        sens_mod.np_sensitivity_profile(ff) != sens_mod.np_sensitivity_profile(gg)
+    ):
+        stats.sensitivity_rejects += 1
+        if _obs.tracer.wants(TRACE_DETAIL):
+            _obs.tracer.event(
+                "prune", reason="signature_tier", family="sensitivity", stage="np_gate"
+            )
+        return None
 
     for dec_f in decide_polarity(ff):
         grm_f = Grm.from_truthtable(ff, dec_f.polarity)
@@ -397,6 +438,21 @@ def match_with_stats(
             return MatchOutcome(NpnTransform((), 0, True), stats)
         return MatchOutcome(None, stats)
 
+    if options.use_tier_dispatch:
+        tier = _tier_differentiator(f, g, options.signature_families)
+        if tier is not None:
+            # An npn-invariant tier differs, which disproves
+            # npn-equivalence (and a fortiori np-equivalence) — no GRM
+            # form is ever built for this pair.
+            stats.differentiated_by = tier
+            if _obs.tracer.wants(TRACE_DETAIL):
+                _obs.tracer.event(
+                    "prune", reason="signature_tier", family=tier, stage="dispatch"
+                )
+            if _obs.enabled:
+                _flush_match_metrics(stats, False)
+            return MatchOutcome(None, stats)
+
     with _obs.tracer.span("match", n=n) as span:
         outcome = None
         f_phases = phase_candidates(f) if allow_output_neg else [(f, False)]
@@ -427,6 +483,8 @@ def match_with_stats(
             if outcome is not None:
                 break
         if outcome is None:
+            if options.use_tier_dispatch:
+                stats.differentiated_by = "grm"
             outcome = MatchOutcome(None, stats)
         if span.recording:
             span.set("matched", outcome.transform is not None)
@@ -435,6 +493,39 @@ def match_with_stats(
     if _obs.enabled:
         _flush_match_metrics(stats, outcome.transform is not None)
     return outcome
+
+
+def _tier_differentiator(
+    f: TruthTable, g: TruthTable, families: Tuple[str, ...]
+) -> Optional[str]:
+    """The cheapest enabled npn-invariant tier that separates the pair.
+
+    Escalates weights -> influence -> sensitivity, computing each tier
+    lazily; returns ``None`` when every enabled tier ties (the pair then
+    goes to the full GRM pipeline).  Tier keys are memoized per
+    ``(n, bits)`` in :mod:`repro.core.sensitivity`, and the weights tier
+    reuses the engine's coarse pre-key.
+    """
+    if "weights" in families:
+        # Cheap scalar screens first: both counts are cached on the
+        # TruthTable, so a weight mismatch never reaches the profile.
+        size = 1 << f.n
+        if min(f.count(), size - f.count()) != min(g.count(), size - g.count()):
+            return "weights"
+        # Imported here: the engine imports this module at load time.
+        from repro.engine.prekey import coarse_prekey
+
+        if coarse_prekey(f) != coarse_prekey(g):
+            return "weights"
+    if "influence" in families and (
+        sens_mod.influence_profile(f) != sens_mod.influence_profile(g)
+    ):
+        return "influence"
+    if "sensitivity" in families and (
+        sens_mod.sensitivity_profile(f) != sens_mod.sensitivity_profile(g)
+    ):
+        return "sensitivity"
+    return None
 
 
 _SEARCH_NODE_BUCKETS = (1, 10, 100, 1_000, 10_000, 100_000, 1_000_000)
@@ -450,10 +541,16 @@ def _flush_match_metrics(stats: MatchStats, matched: bool) -> None:
     registry.histogram("matcher.search_nodes", edges=_SEARCH_NODE_BUCKETS).observe(
         stats.search_nodes
     )
+    if stats.differentiated_by is not None:
+        registry.counter(
+            "matcher.tier_prune", family=stats.differentiated_by
+        ).inc()
     for field, value in (
         ("phase_pairs_tried", stats.phase_pairs_tried),
         ("grms_built", stats.grms_built),
         ("signature_rejects", stats.signature_rejects),
+        ("influence_rejects", stats.influence_rejects),
+        ("sensitivity_rejects", stats.sensitivity_rejects),
         ("partition_rejects", stats.partition_rejects),
         ("search_nodes", stats.search_nodes),
         ("leaf_checks", stats.leaf_checks),

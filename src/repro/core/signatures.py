@@ -1,11 +1,17 @@
 """Signatures for Boolean matching (Section 4 of the paper).
 
-Two signature sources:
+Three signature sources:
 
 * **on-set weights** (Section 4.1): the functional weight ``fw = |f|``,
   the weight-distribution vector ``wd``, and the per-variable cofactor
   weight pair ``(ncw, pcw)`` — np-invariant as an unordered pair
   (Theorem 3).
+* **influence & sensitivity** (:mod:`repro.core.sensitivity`, from the
+  post-paper literature): the per-variable Boolean-difference weight
+  ``inf_i`` and the per-variable sensitivity columns.  Both depend only
+  on the truth table (not the GRM form), cost ``O(n)`` / ``O(n**2)``
+  popcounts, and frequently split weight-tied variables before any
+  GRM-derived signature is consulted.
 * **the GRM form** (Section 4.2): cube-length distributions (VIC, FC,
   FVC), incidence counts (INC, FINC), and the prime-cube statistics
   (PC, PCV, PCvic, PCinc).
@@ -23,10 +29,16 @@ from typing import Optional, Sequence, Tuple
 
 from repro.boolfunc.truthtable import TruthTable
 from repro.core import primes as primes_mod
+from repro.core import sensitivity as sens_mod
 from repro.grm.forms import Grm
 from repro.obs import runtime as _obs
 from repro.obs.trace import TRACE_DETAIL
 from repro.utils.partition import Partition
+
+DEFAULT_FAMILIES = ("weights", "influence", "sensitivity", "vic", "inc", "primes")
+"""Refinement family order: truth-table-only families (weights,
+influence, sensitivity) run before the GRM-derived ones so the cheap
+invariants do as much splitting as possible first."""
 
 
 @dataclass(frozen=True)
@@ -122,7 +134,7 @@ def refine_partition_with_grm(
     grm: Grm,
     use_incidence: bool = True,
     inc_rounds: Optional[int] = None,
-    signature_families: Sequence[str] = ("weights", "vic", "inc", "primes"),
+    signature_families: Sequence[str] = DEFAULT_FAMILIES,
 ) -> Partition:
     """Refine a variable partition with every signature the form offers.
 
@@ -151,6 +163,16 @@ def refine_partition_with_grm(
         split = partition.refine(lambda v: sigs.weight_pairs[v])
         if detail:
             _trace("weights", split)
+    if "influence" in fams:
+        infl = sens_mod.influence_vector(f)
+        split = partition.refine(lambda v: infl[v])
+        if detail:
+            _trace("influence", split)
+    if "sensitivity" in fams:
+        cols = sens_mod.sensitivity_columns(f)
+        split = partition.refine(lambda v: cols[v])
+        if detail:
+            _trace("sensitivity", split)
     if "vic" in fams:
         split = partition.refine(lambda v: (sigs.fvc[v], sigs.vic_columns[v]))
         if detail:

@@ -71,8 +71,9 @@ from repro.core.errors import (
 )
 from repro.core.matcher import MatchOptions, match
 from repro.core.polarity import phase_candidates
+from repro.core import sensitivity as sens_mod
 from repro.engine.cache import CanonicalKeyCache
-from repro.engine.prekey import coarse_prekey, fine_prekey
+from repro.engine.prekey import coarse_prekey, fine_prekey, sensitivity_prekey
 from repro.obs import runtime as _obs
 from repro.obs.metrics import MetricsRegistry
 from repro.utils import bitops
@@ -152,6 +153,8 @@ class EngineStats:
     duplicates: int = 0
     buckets: int = 0
     singleton_buckets: int = 0
+    influence_keyed_buckets: int = 0
+    sensitivity_keyed_buckets: int = 0
     fine_keyed_buckets: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
@@ -729,17 +732,19 @@ class ClassificationEngine:
     def _bucketize(
         self, members_of: Dict[Tuple[int, int], List[int]], metrics: _EngineMetrics
     ) -> Tuple[Dict[Tuple, List[Tuple[int, int]]], Dict[Tuple[int, int], Tuple]]:
-        """Group distinct functions by pre-key (two-tier: the fine key is
-        only computed inside coarse buckets that collided).
+        """Group distinct functions by pre-key, escalating through the
+        tiers of :mod:`repro.engine.prekey` — coarse, then influence,
+        then sensitivity, then the symmetry fine key — with each tier
+        only computed inside buckets where the cheaper tier collided.
 
         Same-width groups large enough for the bit-parallel kernel (per
         ``options.kernel``, see :func:`repro.kernels.should_batch`) get
         their coarse pre-keys — and cofactor-weight vectors, returned as
         the second element for :class:`TruthTable` pre-seeding — from
-        one packed pass; the rest take the scalar
-        :func:`~repro.engine.prekey.coarse_prekey`.  Both paths emit
-        identical keys, so bucket contents never depend on the kernel
-        mode.
+        one packed pass, and collided coarse buckets batch their
+        influence vectors the same way; the rest take the scalar path.
+        Both paths emit identical keys, so bucket contents never depend
+        on the kernel mode.
         """
         buckets: Dict[Tuple, List[Tuple[int, int]]] = {}
         weights_of: Dict[Tuple[int, int], Tuple] = {}
@@ -768,15 +773,62 @@ class ClassificationEngine:
                 if len(items) == 1:
                     buckets[ckey] = items
                     continue
-                metrics.inc("fine_keyed_buckets")
-                for n, bits in items:
-                    fkey = fine_prekey(TruthTable(n, bits), ckey)
-                    buckets.setdefault(fkey, []).append((n, bits))
+                self._escalate_bucket(ckey, items, buckets, weights_of, metrics)
         metrics.inc("buckets", len(buckets))
         metrics.inc(
             "singleton_buckets", sum(1 for v in buckets.values() if len(v) == 1)
         )
         return buckets, weights_of
+
+    def _escalate_bucket(
+        self,
+        ckey: Tuple,
+        items: List[Tuple[int, int]],
+        buckets: Dict[Tuple, List[Tuple[int, int]]],
+        weights_of: Dict[Tuple[int, int], Tuple],
+        metrics: _EngineMetrics,
+    ) -> None:
+        """Split one collided coarse bucket through the remaining tiers.
+
+        Influence first (batched through the kernel when the group
+        qualifies), then sensitivity, then the symmetry fine key; each
+        tier only touches the groups the previous tier left collided.
+        Singleton groups keep their shortest differentiating key, so the
+        ``[:4]`` coarse prefix the store routes on is preserved at every
+        depth.
+        """
+        metrics.inc("influence_keyed_buckets")
+        n = items[0][0]
+        if kernels.should_batch(n, len(items), self.options.kernel):
+            infls = kernels.influence_vectors([bits for _, bits in items], n)
+        else:
+            infls = None
+        by_ikey: Dict[Tuple, List[Tuple[int, int]]] = {}
+        for idx, (fn, bits) in enumerate(items):
+            f = TruthTable(fn, bits)
+            w = weights_of.get((fn, bits))
+            if w is not None:
+                f.prime_weights(w)
+            iv = infls[idx] if infls is not None else sens_mod.influence_vector(f)
+            profile = sens_mod.influence_profile_parts(f.cofactor_weights(), iv, fn)
+            by_ikey.setdefault(ckey + (profile,), []).append((fn, bits))
+        for ikey, igroup in by_ikey.items():
+            if len(igroup) == 1:
+                buckets[ikey] = igroup
+                continue
+            metrics.inc("sensitivity_keyed_buckets")
+            by_skey: Dict[Tuple, List[Tuple[int, int]]] = {}
+            for fn, bits in igroup:
+                skey = sensitivity_prekey(TruthTable(fn, bits), ikey)
+                by_skey.setdefault(skey, []).append((fn, bits))
+            for skey, sgroup in by_skey.items():
+                if len(sgroup) == 1:
+                    buckets[skey] = sgroup
+                    continue
+                metrics.inc("fine_keyed_buckets")
+                for fn, bits in sgroup:
+                    fkey = fine_prekey(TruthTable(fn, bits), skey)
+                    buckets.setdefault(fkey, []).append((fn, bits))
 
 
 def classify_batch(

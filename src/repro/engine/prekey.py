@@ -9,16 +9,27 @@ makes the parallel merge a disjoint union — and (c) restricts the
 membership fast-path's candidate set to the handful of classes already
 discovered in the same bucket.
 
-Two tiers keep the common case cheap:
+Four tiers keep the common case cheap:
 
 * the **coarse** key is pure popcount arithmetic: variable count, support
   size, the on-set weight min-pair ``min(|f|, 2**n - |f|)``, and the
   sorted multiset of per-variable cofactor weight pairs, phase-normalized
   by taking the lexicographic minimum over ``{f, ~f}``;
+* the **influence** key appends the joint influence/weight-pair profile
+  of :func:`repro.core.sensitivity.influence_profile` — one XOR plus
+  popcount per variable, so it is the first escalation inside a collided
+  coarse bucket (batch path: :func:`repro.kernels.batch_influence`);
+* the **sensitivity** key appends the phase-normalized sensitivity
+  profile (on/off histograms of the point sensitivity plus the sorted
+  per-variable boundary columns, ``O(n**2)`` popcounts);
 * the **fine** key appends the pair-symmetry counts (how many variable
   pairs carry a positive NE/E symmetry, how many a skew symmetry), which
   cost ``O(n**2)`` cofactor comparisons and are therefore only computed
-  inside buckets whose coarse key collided.
+  inside buckets where every cheaper tier collided.
+
+Every tier *appends* components after the coarse 4-tuple, so a bucket
+key's ``[:4]`` prefix is always the coarse key — the store's warm-start
+routing depends on that.
 
 Invariance arguments: permutation only reorders the multisets; negating
 input ``i`` swaps ``(ncw, pcw)`` (handled by the sorted pair) and swaps
@@ -34,9 +45,12 @@ from __future__ import annotations
 from typing import Tuple
 
 from repro.boolfunc.truthtable import TruthTable
+from repro.core import sensitivity as sens_mod
 from repro.utils import bitops
 
 CoarseKey = Tuple[int, int, int, Tuple[Tuple[int, int], ...]]
+InfluenceKey = Tuple  # CoarseKey + (influence profile,)
+SensitivityKey = Tuple  # InfluenceKey + (sensitivity profile,)
 FineKey = Tuple[int, int, int, Tuple[Tuple[int, int], ...], int, int]
 
 
@@ -67,6 +81,29 @@ def coarse_prekey(f: TruthTable) -> CoarseKey:
     # the lexmin of the two profiles is invariant under output phase.
     profile_neg = tuple(sorted((half - b, half - a) for (a, b) in pairs))
     return (n, bitops.popcount(support), wmin, min(profile, profile_neg))
+
+
+def influence_prekey(f: TruthTable, coarse: CoarseKey = None) -> InfluenceKey:
+    """The influence tier: the coarse key plus the npn-invariant joint
+    influence/weight-pair profile.
+
+    Pass ``coarse`` when the tier-1 key is already known.  The profile
+    pairs each variable's Boolean-difference weight with its cofactor
+    weight pair and lexmins over the output phase — see
+    :func:`repro.core.sensitivity.influence_profile`.
+    """
+    if coarse is None:
+        coarse = coarse_prekey(f)
+    return coarse + (sens_mod.influence_profile(f),)
+
+
+def sensitivity_prekey(f: TruthTable, influence: InfluenceKey = None) -> SensitivityKey:
+    """The sensitivity tier: the influence key plus the phase-normalized
+    sensitivity profile (:func:`repro.core.sensitivity.sensitivity_profile`).
+    """
+    if influence is None:
+        influence = influence_prekey(f)
+    return influence + (sens_mod.sensitivity_profile(f),)
 
 
 def symmetry_counts(f: TruthTable) -> Tuple[int, int]:
@@ -105,10 +142,12 @@ def symmetry_counts(f: TruthTable) -> Tuple[int, int]:
 
 
 def fine_prekey(f: TruthTable, coarse: CoarseKey = None) -> FineKey:
-    """The tier-2 pre-key: the coarse key plus pair-symmetry counts.
+    """The symmetry pre-key tier: a base key plus pair-symmetry counts.
 
-    Pass ``coarse`` when the tier-1 key is already known to avoid
-    recomputing it.
+    ``coarse`` may be any lower-tier key (coarse, influence or
+    sensitivity) — the symmetry counts are appended to whatever prefix
+    the caller escalated through.  Pass it when already known to avoid
+    recomputing.
     """
     if coarse is None:
         coarse = coarse_prekey(f)

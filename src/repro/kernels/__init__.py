@@ -18,6 +18,9 @@ Modules
     cofactor-weight vectors for a whole bucket in one pass.
 :mod:`repro.kernels.transform`
     Lane-wise axis flips, input negation, Moebius and FPRM transforms.
+:mod:`repro.kernels.influence`
+    Per-lane influence vectors and sensitivity histograms for the
+    engine's influence/sensitivity pre-key tiers.
 
 Dispatch
 --------
@@ -39,7 +42,8 @@ from __future__ import annotations
 import time
 from typing import List, Sequence, Tuple
 
-from repro.kernels import lanes, popcount, prekey, transform
+from repro.kernels import influence, lanes, popcount, prekey, transform
+from repro.kernels.influence import batch_influence, batch_sensitivity
 from repro.kernels.lanes import pack_tables, unpack_tables
 from repro.kernels.popcount import (
     AUTO_REDUCE_MAX_N,
@@ -64,13 +68,17 @@ __all__ = [
     "batch_cofactor_weights",
     "batch_flip_axis",
     "batch_fprm",
+    "batch_influence",
     "batch_mobius",
     "batch_negate_inputs",
     "batch_output_complement",
     "batch_prekeys",
+    "batch_sensitivity",
     "batch_weights",
     "butterfly",
     "coarse_prekeys",
+    "influence",
+    "influence_vectors",
     "lanes",
     "pack_tables",
     "packed_weights",
@@ -125,4 +133,21 @@ def coarse_prekeys(
     registry.counter("kernels.prekey_calls").inc()
     registry.counter("kernels.prekey_lanes").inc(len(bits_list))
     registry.counter("kernels.prekey_seconds").inc(time.perf_counter() - t0)
+    return result
+
+
+def influence_vectors(bits_list: Sequence[int], n: int) -> List[tuple]:
+    """Instrumented entry point for the batch influence kernel.
+
+    Identical to :func:`repro.kernels.influence.batch_influence`, plus
+    ``kernels.*`` metrics when observability is on.
+    """
+    if not _obs.enabled:
+        return batch_influence(bits_list, n)
+    t0 = time.perf_counter()
+    result = batch_influence(bits_list, n)
+    registry = _obs.registry
+    registry.counter("kernels.influence_calls").inc()
+    registry.counter("kernels.influence_lanes").inc(len(bits_list))
+    registry.counter("kernels.influence_seconds").inc(time.perf_counter() - t0)
     return result

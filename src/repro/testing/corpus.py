@@ -114,13 +114,90 @@ def save_witness(directory: str | Path, witness: Witness) -> Path:
 
 
 def load_corpus(directory: str | Path) -> List[Witness]:
-    """All witnesses under ``directory``, sorted by file name."""
+    """All witnesses under ``directory``, sorted by file name.
+
+    Files carrying a *string* schema tag belong to a sibling corpus
+    format (e.g. the ``"weight-twins-1"`` pair file) and are skipped;
+    an unrecognized *integer* schema still raises, so a corrupt witness
+    can never be silently ignored.
+    """
     directory = Path(directory)
     if not directory.is_dir():
         return []
+    out = []
+    for path in sorted(directory.glob("*.json")):
+        text = path.read_text()
+        if isinstance(json.loads(text).get("schema"), str):
+            continue
+        out.append(Witness.from_json(text))
+    return out
+
+
+# ----------------------------------------------------------------------
+# The adversarial weight-twin pair corpus
+# ----------------------------------------------------------------------
+
+WEIGHT_TWINS_SCHEMA = "weight-twins-1"
+
+
+@dataclass(frozen=True)
+class WeightTwinPair:
+    """One committed adversarial pair: npn-inequivalent, yet identical
+    coarse pre-keys.  ``tier`` records which signature family first
+    differentiates the pair (``"influence"`` or ``"sensitivity"``) —
+    replay asserts the dispatcher still settles it there, before any
+    GRM form is built."""
+
+    n: int
+    f_bits: int
+    g_bits: int
+    tier: str
+
+    @property
+    def f(self) -> TruthTable:
+        return TruthTable(self.n, self.f_bits)
+
+    @property
+    def g(self) -> TruthTable:
+        return TruthTable(self.n, self.g_bits)
+
+
+def save_weight_twins(path: str | Path, pairs: List[WeightTwinPair]) -> Path:
+    """Serialize the pair corpus as one JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": WEIGHT_TWINS_SCHEMA,
+        "description": (
+            "npn-inequivalent pairs with identical coarse (weight) "
+            "pre-keys; 'tier' is the signature family that tells them "
+            "apart without building a GRM form"
+        ),
+        "pairs": [
+            {"n": p.n, "f": hex(p.f_bits), "g": hex(p.g_bits), "tier": p.tier}
+            for p in pairs
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_weight_twins(path: str | Path) -> List[WeightTwinPair]:
+    """Load the pair corpus; empty when the file does not exist."""
+    path = Path(path)
+    if not path.is_file():
+        return []
+    data = json.loads(path.read_text())
+    if data.get("schema") != WEIGHT_TWINS_SCHEMA:
+        raise ValueError(f"unsupported weight-twin schema {data.get('schema')!r}")
     return [
-        Witness.from_json(path.read_text())
-        for path in sorted(directory.glob("*.json"))
+        WeightTwinPair(
+            n=entry["n"],
+            f_bits=int(entry["f"], 16),
+            g_bits=int(entry["g"], 16),
+            tier=entry["tier"],
+        )
+        for entry in data["pairs"]
     ]
 
 

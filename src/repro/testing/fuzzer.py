@@ -34,6 +34,7 @@ from repro.baselines import exhaustive, signature_matcher, spectral
 from repro.boolfunc.transform import NpnTransform
 from repro.boolfunc.truthtable import TruthTable
 from repro.core import matcher as core_matcher
+from repro.core import sensitivity as sens_mod
 from repro.testing import oracle as oracle_mod
 from repro.testing.corpus import Witness, save_witness
 from repro.testing.metamorphic import run_metamorphic
@@ -95,10 +96,30 @@ def _mutant_ignore_output_phase(f: TruthTable, g: TruthTable) -> Optional[NpnTra
     return core_matcher.match(f, g, allow_output_neg=False)
 
 
+def _mutant_influence_phase(f: TruthTable, g: TruthTable) -> Optional[NpnTransform]:
+    """Bug: gates on the influence profile *without* the output-phase
+    lexmin (the np-level profile used as if it were npn-invariant), so
+    equivalent pairs that need an output complement are rejected."""
+    if sens_mod.np_influence_profile(f) != sens_mod.np_influence_profile(g):
+        return None
+    return core_matcher.match(f, g)
+
+
+def _mutant_sensitivity_unsorted(f: TruthTable, g: TruthTable) -> Optional[NpnTransform]:
+    """Bug: gates on the raw variable-ordered sensitivity columns,
+    skipping the sorted-multiset normalization, so a mere input
+    permutation flips the verdict."""
+    if sens_mod.sensitivity_columns(f) != sens_mod.sensitivity_columns(g):
+        return None
+    return core_matcher.match(f, g)
+
+
 MUTANTS: Dict[str, MatchFn] = {
     "drop-negated": _mutant_drop_negated,
     "identity-witness": _mutant_identity_witness,
     "ignore-output-phase": _mutant_ignore_output_phase,
+    "influence-phase": _mutant_influence_phase,
+    "sensitivity-unsorted": _mutant_sensitivity_unsorted,
 }
 
 

@@ -23,6 +23,17 @@ def test_match_inequivalent(capsys):
     assert "NOT" in out or "not matchable" in out
 
 
+def test_match_explain_reports_differentiating_tier(tmp_path, capsys):
+    or3 = tmp_path / "or3.pla"
+    or3.write_text(".i 3\n.o 1\n.p 3\n1-- 1\n-1- 1\n--1 1\n.e\n")
+    maj3 = tmp_path / "maj3.pla"
+    maj3.write_text(".i 3\n.o 1\n.p 3\n11- 1\n1-1 1\n-11 1\n.e\n")
+    code, out = run_cli(capsys, "match", str(or3), str(maj3), "--explain")
+    assert code == 1
+    assert "differentiated by:" in out
+    assert "signature_tier" in out
+
+
 def test_match_requires_single_output():
     with pytest.raises(SystemExit):
         main(["match", "bench:rd73", "bench:rd73"])

@@ -13,6 +13,7 @@ import pytest
 from repro import kernels
 from repro.boolfunc import walsh
 from repro.boolfunc.truthtable import TruthTable
+from repro.core import sensitivity
 from repro.engine import EngineOptions, classify_batch
 from repro.engine.prekey import coarse_prekey
 from repro.grm.transform import fprm_coefficients
@@ -64,6 +65,37 @@ def test_batch_prekeys_wide_tables(n):
     keys, weights = kernels.batch_prekeys(bl, n)
     assert keys == [coarse_prekey(TruthTable(n, b)) for b in bl]
     assert weights == scalar_weights(bl, n)
+
+
+@pytest.mark.parametrize("n", range(0, 9))
+def test_batch_influence_and_sensitivity_match_scalar(n):
+    rng = random.Random(700 + n)
+    bl = batch_for(n, rng, extra=13)
+    assert kernels.batch_influence(bl, n) == [
+        sensitivity.influence_vector(TruthTable(n, b)) for b in bl
+    ]
+    assert kernels.batch_sensitivity(bl, n) == [
+        sensitivity.sensitivity_data(TruthTable(n, b)) for b in bl
+    ]
+
+
+@pytest.mark.parametrize("n", (16, 17))
+def test_batch_influence_and_sensitivity_wide_tables(n):
+    # Lane values (influence / histogram counts) reach 2**(n-1) and 2**n
+    # here, exercising multi-byte lane extraction just like the wide
+    # pre-key regression above.  Constants (empty boundary everywhere)
+    # and a full-support function ride along with random lanes.
+    rng = random.Random(800 + n)
+    size = 1 << n
+    bl = [0, (1 << size) - 1, bitops.axis_mask(n, n - 1), TruthTable.parity(n).bits]
+    bl += [rng.getrandbits(size) for _ in range(3)]
+    tables = [TruthTable(n, b) for b in bl]
+    assert kernels.batch_influence(bl, n) == [
+        sensitivity.influence_vector(t) for t in tables
+    ]
+    assert kernels.batch_sensitivity(bl, n) == [
+        sensitivity.sensitivity_data(t) for t in tables
+    ]
 
 
 def test_batch_weights_reduce_rejects_small_n():

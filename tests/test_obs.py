@@ -14,7 +14,7 @@ import threading
 import pytest
 
 from repro.boolfunc.truthtable import TruthTable
-from repro.core.matcher import match
+from repro.core.matcher import MatchOptions, match, match_with_stats
 from repro.engine.cache import CanonicalKeyCache
 from repro.obs import runtime as obs_runtime
 from repro.obs.metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
@@ -377,11 +377,20 @@ def _mismatch_pair():
     return f, g
 
 
+# The tier dispatcher settles _mismatch_pair before any GRM form is
+# built; exercising the GRM signature gate therefore needs the paper's
+# pure pipeline (dispatch off, classic signature families only).
+_PURE_GRM = MatchOptions(
+    use_tier_dispatch=False,
+    signature_families=("weights", "vic", "inc", "primes"),
+)
+
+
 class TestMatcherInstrumentation:
     def test_prune_events_on_inequivalent_pair(self):
         f, g = _mismatch_pair()
         with obs_runtime.capture() as (_reg, ring):
-            assert match(f, g) is None
+            assert match(f, g, _PURE_GRM) is None
         events = []
         for rec in ring.records():
             events.extend(rec.get("events", ()))
@@ -396,6 +405,27 @@ class TestMatcherInstrumentation:
         for ev in sig_prunes:
             assert ev["attrs"].get("family") in {"weights", "vic", "inc", "primes"}
 
+    def test_tier_dispatch_prune_event_and_counter(self):
+        f, g = _mismatch_pair()
+        with obs_runtime.capture() as (reg, ring):
+            outcome = match_with_stats(f, g)
+        assert outcome.transform is None
+        tier = outcome.stats.differentiated_by
+        assert tier in {"weights", "influence", "sensitivity"}
+        events = []
+        for rec in ring.records():
+            events.extend(rec.get("events", ()))
+            if rec.get("kind") == "event":
+                events.append(rec)
+        tier_prunes = [
+            e
+            for e in events
+            if e["name"] == "prune"
+            and e["attrs"].get("reason") == "signature_tier"
+        ]
+        assert tier_prunes and tier_prunes[0]["attrs"].get("family") == tier
+        assert reg.counter_value("matcher.tier_prune", family=tier) == 1
+
     def test_match_metrics_flushed(self):
         f, g = _mismatch_pair()
         with obs_runtime.capture() as (reg, _ring):
@@ -407,10 +437,18 @@ class TestMatcherInstrumentation:
     def test_match_explanation_renders(self):
         f, g = _mismatch_pair()
         with obs_runtime.capture() as (_reg, ring):
-            match(f, g)
+            match(f, g, _PURE_GRM)
         text = render_match_explanation(ring.records())
         assert "prune summary:" in text
         assert "function_signature" in text
+
+    def test_match_explanation_shows_tier_prunes(self):
+        f, g = _mismatch_pair()
+        with obs_runtime.capture() as (_reg, ring):
+            match(f, g)
+        text = render_match_explanation(ring.records())
+        assert "prune summary:" in text
+        assert "signature_tier" in text
 
     def test_disabled_match_untouched(self):
         # No tracer, no registry writes, identical result.

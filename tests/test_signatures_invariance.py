@@ -1,0 +1,177 @@
+"""Metamorphic invariance of every signature family.
+
+The whole signature arms race rests on one property: an *invariant*
+signature never changes under any npn transform, and a *covariant* one
+changes only by the input relabeling.  A silent violation turns a sound
+pruning tier into a false-negative machine (equivalent pairs rejected),
+which no amount of positive matching tests would notice.  This suite
+drives ~200 seeded random transforms through every family at n = 3..8,
+plus the degenerate functions where off-by-one phase bugs like to hide
+(constants, a single literal, parity, majority).
+
+Conventions: ``g = t.apply(f)`` wires input ``i`` of ``f`` to variable
+``t.perm[i]`` of ``g``, so a covariant per-variable vector satisfies
+``vec_f[i] == vec_g[t.perm[i]]``.
+"""
+
+import random
+
+import pytest
+
+from repro.boolfunc.ops import majority
+from repro.boolfunc.transform import NpnTransform
+from repro.boolfunc.truthtable import TruthTable
+from repro.core import sensitivity as sens_mod
+from repro.core import signatures as sigs_mod
+from repro.engine import prekey
+
+TRANSFORMS_PER_CASE = 8
+NS = (3, 4, 5, 6, 7, 8)
+
+
+def _degenerates(n):
+    return [
+        TruthTable.zero(n),
+        TruthTable.one(n),
+        TruthTable.var(n, 0),
+        TruthTable.parity(n),
+        majority(n),
+    ]
+
+
+def _cases():
+    """(n, f, t) triples: ~200 random transforms over random + degenerate
+    functions, deterministic per seed."""
+    rng = random.Random(20260808)
+    out = []
+    for n in NS:
+        tables = [TruthTable.random(n, rng) for _ in range(3)] + _degenerates(n)
+        for f in tables:
+            for _ in range(TRANSFORMS_PER_CASE):
+                out.append((n, f, NpnTransform.random(n, rng)))
+    return out
+
+
+CASES = _cases()
+
+NPN_INVARIANTS = [
+    ("influence_profile", sens_mod.influence_profile),
+    ("sensitivity_profile", sens_mod.sensitivity_profile),
+    ("sensitivity_split", sens_mod.sensitivity_split),
+    ("coarse_prekey", prekey.coarse_prekey),
+    ("influence_prekey", prekey.influence_prekey),
+    ("sensitivity_prekey", prekey.sensitivity_prekey),
+    ("fine_prekey", prekey.fine_prekey),
+]
+
+
+def test_case_count_is_substantial():
+    assert len(CASES) >= 200
+
+
+@pytest.mark.parametrize("name,fn", NPN_INVARIANTS, ids=[n for n, _ in NPN_INVARIANTS])
+def test_npn_invariance(name, fn):
+    for n, f, t in CASES:
+        g = t.apply(f)
+        assert fn(f) == fn(g), (
+            f"{name} not npn-invariant at n={n}: f=0x{f.bits:x} "
+            f"t={t.describe()}"
+        )
+
+
+def test_influence_vector_permutation_covariant():
+    for n, f, t in CASES:
+        g = t.apply(f)
+        vf = sens_mod.influence_vector(f)
+        vg = sens_mod.influence_vector(g)
+        assert all(vf[i] == vg[t.perm[i]] for i in range(n)), (
+            f"influence vector broke covariance at n={n}: f=0x{f.bits:x} "
+            f"t={t.describe()}"
+        )
+
+
+def test_sensitivity_columns_permutation_covariant():
+    for n, f, t in CASES:
+        g = t.apply(f)
+        cf = sens_mod.sensitivity_columns(f)
+        cg = sens_mod.sensitivity_columns(g)
+        assert all(cf[i] == cg[t.perm[i]] for i in range(n)), (
+            f"sensitivity columns broke covariance at n={n}: f=0x{f.bits:x} "
+            f"t={t.describe()}"
+        )
+
+
+def test_weight_pairs_np_covariant():
+    """The paper's cofactor weight pair is np-level: covariant under
+    permutation and input negation with the output phase held fixed."""
+    for n, f, t in CASES:
+        tnp = NpnTransform(t.perm, t.input_neg, False)
+        g = tnp.apply(f)
+        wf = [sigs_mod.weight_pair(f, i) for i in range(n)]
+        wg = [sigs_mod.weight_pair(g, i) for i in range(n)]
+        assert all(wf[i] == wg[t.perm[i]] for i in range(n))
+
+
+def test_np_profiles_fixed_phase_invariant():
+    """The np-level profiles must hold under every transform that keeps
+    the output phase — the matcher uses them inside its phase-fixed
+    inner loop — and the influence one must *break* under output
+    complement for some function (otherwise the npn lexmin would be
+    dead code and the influence-phase fuzz mutant meaningless)."""
+    broke = False
+    for n, f, t in CASES:
+        tnp = NpnTransform(t.perm, t.input_neg, False)
+        g = tnp.apply(f)
+        assert sens_mod.np_influence_profile(f) == sens_mod.np_influence_profile(g)
+        assert sens_mod.np_sensitivity_profile(f) == sens_mod.np_sensitivity_profile(g)
+        if sens_mod.np_influence_profile(f) != sens_mod.np_influence_profile(~f):
+            broke = True
+    assert broke, "np influence profile never varied with output phase"
+
+
+def test_sensitivity_values_against_naive_definition():
+    """Anchor the bit-plane pipeline to the s(x) definition directly."""
+    rng = random.Random(99)
+    for n in range(0, 6):
+        for _ in range(10):
+            f = TruthTable.random(n, rng)
+            vals = sens_mod.sensitivity_values(f)
+            for x in range(1 << n):
+                s = sum(
+                    1
+                    for i in range(n)
+                    if f.evaluate(x) != f.evaluate(x ^ (1 << i))
+                )
+                assert vals[x] == s
+            columns, hist_on, hist_off = sens_mod.sensitivity_data(f)
+            for v in range(n + 1):
+                assert hist_on[v] == sum(
+                    1 for x in range(1 << n) if f.evaluate(x) and vals[x] == v
+                )
+                assert hist_off[v] == sum(
+                    1 for x in range(1 << n) if not f.evaluate(x) and vals[x] == v
+                )
+            for i in range(n):
+                for v in range(n + 1):
+                    assert columns[i][v] == sum(
+                        1
+                        for x in range(1 << n)
+                        if f.evaluate(x) != f.evaluate(x ^ (1 << i))
+                        and vals[x] == v
+                    )
+
+
+def test_influence_vector_against_naive_definition():
+    rng = random.Random(98)
+    for n in range(0, 6):
+        for _ in range(10):
+            f = TruthTable.random(n, rng)
+            infl = sens_mod.influence_vector(f)
+            for i in range(n):
+                naive = sum(
+                    1
+                    for x in range(1 << n)
+                    if not (x >> i) & 1
+                    and f.evaluate(x) != f.evaluate(x | (1 << i))
+                )
+                assert infl[i] == naive

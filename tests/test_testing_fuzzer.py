@@ -56,7 +56,14 @@ def test_check_pair_accepts_planted_truth(rng):
 # ----------------------------------------------------------------------
 
 @pytest.mark.parametrize(
-    "mutant", ["drop-negated", "identity-witness", "ignore-output-phase"]
+    "mutant",
+    [
+        "drop-negated",
+        "identity-witness",
+        "ignore-output-phase",
+        "influence-phase",
+        "sensitivity-unsorted",
+    ],
 )
 def test_injected_bug_is_caught(mutant):
     report = run_mutation_check(mutant=mutant, seed=0, iters=300, max_n=5)

@@ -1,0 +1,58 @@
+"""Replay of the adversarial weight-twin corpus.
+
+Every committed pair is npn-inequivalent but shares the full coarse
+(weight) pre-key, so the paper's weight signatures alone cannot settle
+it.  The corpus pins down the arms race: the influence / sensitivity
+tiers must (i) never false-match, (ii) differentiate each pair at the
+recorded tier, and (iii) do so before any GRM form is built.
+"""
+
+import pytest
+
+from repro.core.matcher import match_with_stats
+from repro.engine.prekey import coarse_prekey
+from repro.testing import corpus, oracle
+from repro.testing.adversarial import differentiating_tier
+
+CORPUS_PATH = "tests/corpus/weight_twins.json"
+
+PAIRS = corpus.load_weight_twins(CORPUS_PATH)
+
+
+def _pair_id(pair):
+    return f"n{pair.n}_{pair.f_bits:x}_{pair.g_bits:x}_{pair.tier}"
+
+
+def test_corpus_present_and_balanced():
+    assert len(PAIRS) >= 20, "weight-twin corpus went missing or shrank"
+    tiers = {p.tier for p in PAIRS}
+    assert tiers == {"influence", "sensitivity"}, (
+        "both escalation tiers must stay represented, got " + str(tiers)
+    )
+
+
+@pytest.mark.parametrize("pair", PAIRS, ids=_pair_id)
+def test_pair_is_a_true_weight_twin(pair):
+    # Identical coarse pre-keys: the weight tier must be blind here...
+    assert coarse_prekey(pair.f) == coarse_prekey(pair.g)
+    # ...yet the pair is genuinely inequivalent (exhaustive oracle).
+    assert oracle.oracle_decides(pair.n)
+    assert not oracle.oracle_equivalent(pair.f, pair.g)
+
+
+@pytest.mark.parametrize("pair", PAIRS, ids=_pair_id)
+def test_dispatcher_settles_before_grm(pair):
+    outcome = match_with_stats(pair.f, pair.g)
+    assert outcome.transform is None, "false match on a committed twin"
+    stats = outcome.stats
+    assert stats.differentiated_by == pair.tier, (
+        f"expected the {pair.tier} tier to differentiate, "
+        f"got {stats.differentiated_by!r}"
+    )
+    assert stats.grms_built == 0, "twin must be settled before GRM construction"
+
+
+@pytest.mark.parametrize("pair", PAIRS, ids=_pair_id)
+def test_recorded_tier_matches_generator(pair):
+    # The label in the file stays honest against the live profiles.
+    assert differentiating_tier(pair.f, pair.g) == pair.tier
