@@ -40,9 +40,15 @@ def main() -> None:
         print(f"  {cell:<8} x{count}")
     stats = result.stats
     print(
-        f"\nmatching work: {stats.cuts_evaluated} cuts evaluated, "
-        f"{stats.canonicalizations} canonicalizations, "
-        f"{stats.class_cache_hits} class-cache hits, "
+        f"\nmatching work: {stats.cuts_evaluated} cuts evaluated -> "
+        f"{stats.distinct_cut_functions} distinct functions "
+        f"({stats.dedup_rate() * 100.0:.1f}% dedup) -> "
+        f"{stats.cut_classes} npn classes"
+    )
+    print(
+        f"engine: {stats.engine_canonicalizations} canonicalizations, "
+        f"{stats.engine_membership_hits} membership hits; "
+        f"{stats.witness_replays} witness replays, "
         f"{stats.matcher_calls} matcher calls"
     )
 

@@ -1,18 +1,29 @@
 """And-Inverter Graph substrate: structural hashing, cuts, mapping."""
 
-from repro.aig.cuts import Cut, enumerate_cuts
+from repro.aig.cuts import Cut, CutCatalog, catalog_cut_functions, enumerate_cuts
 from repro.aig.graph import FALSE, TRUE, Aig, lit, lit_compl, lit_not, lit_var
-from repro.aig.mapper import AigMapper, MappedNode, MappingResult, MappingStats
+from repro.aig.mapper import (
+    AigMapper,
+    ClassAccount,
+    MappedNode,
+    MappingError,
+    MappingResult,
+    MappingStats,
+)
 
 __all__ = [
     "Aig",
     "AigMapper",
+    "ClassAccount",
     "Cut",
+    "CutCatalog",
     "FALSE",
     "MappedNode",
+    "MappingError",
     "MappingResult",
     "MappingStats",
     "TRUE",
+    "catalog_cut_functions",
     "enumerate_cuts",
     "lit",
     "lit_compl",

@@ -13,8 +13,8 @@ pruned and the per-node list is truncated to the smallest few.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.aig.graph import FALSE, Aig, lit_var
 
@@ -50,6 +50,68 @@ def _prune(cuts: List[Cut], max_cuts: int) -> List[Cut]:
         if len(kept) >= max_cuts:
             break
     return kept
+
+
+@dataclass
+class CutCatalog:
+    """Every non-trivial cut of an AIG with its local function, deduped.
+
+    Phase one of the batched mapping flow: ``node_cuts[v]`` lists the
+    matchable ``(cut, (n, bits))`` pairs of node ``v`` in enumeration
+    order, and ``distinct_by_width[n]`` holds each distinct ``(n, bits)``
+    cut function exactly once (first-seen order), grouped by support
+    width so phase two can push whole width groups through the batch
+    classification engine.  ``cut_functions_evaluated`` counts cut
+    evaluations, so ``1 - distinct/evaluated`` is the dedup rate the
+    netlist-flow benchmark reports.
+    """
+
+    node_cuts: Dict[int, List[Tuple[Cut, Tuple[int, int]]]] = field(default_factory=dict)
+    distinct_by_width: Dict[int, List[Tuple[int, int]]] = field(default_factory=dict)
+    cut_functions_evaluated: int = 0
+
+    @property
+    def distinct_functions(self) -> int:
+        return sum(len(group) for group in self.distinct_by_width.values())
+
+    def dedup_rate(self) -> float:
+        """Fraction of cut evaluations resolved by exact dedup."""
+        if not self.cut_functions_evaluated:
+            return 0.0
+        return 1.0 - self.distinct_functions / self.cut_functions_evaluated
+
+
+def catalog_cut_functions(
+    aig: Aig,
+    cuts: Optional[Dict[int, List[Cut]]] = None,
+    k: int = 4,
+    max_cuts_per_node: int = 16,
+) -> CutCatalog:
+    """Collect every matchable cut function of the whole AIG, deduped.
+
+    ``cuts`` defaults to :func:`enumerate_cuts` with the given limits.
+    Trivial cuts are skipped (a node cannot implement itself); every
+    other cut's local function is evaluated once and recorded under its
+    exact ``(n, bits)`` identity.
+    """
+    if cuts is None:
+        cuts = enumerate_cuts(aig, k, max_cuts_per_node)
+    catalog = CutCatalog()
+    seen: Dict[Tuple[int, int], None] = {}
+    for node in aig.and_nodes():
+        entries: List[Tuple[Cut, Tuple[int, int]]] = []
+        for cut in cuts[node]:
+            if cut.leaves == (node,):
+                continue
+            function = aig.cut_function(node, cut.leaves)
+            catalog.cut_functions_evaluated += 1
+            key = (function.n, function.bits)
+            if key not in seen:
+                seen[key] = None
+                catalog.distinct_by_width.setdefault(key[0], []).append(key)
+            entries.append((cut, key))
+        catalog.node_cuts[node] = entries
+    return catalog
 
 
 def enumerate_cuts(

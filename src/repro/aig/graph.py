@@ -218,31 +218,62 @@ class Aig:
 
         The leaves (node ids) become the variables, in the given order;
         every path from ``node`` must terminate in a leaf (guaranteed
-        for cuts produced by :mod:`repro.aig.cuts`).
+        for cuts produced by :mod:`repro.aig.cuts`).  Evaluation uses an
+        explicit stack, so whole-cone "cuts" of arbitrarily deep AIGs
+        (the verifier's case) cannot hit the recursion limit.
         """
         k = len(leaves)
         tables: Dict[int, TruthTable] = {FALSE: TruthTable.zero(k)}
         for pos, leaf in enumerate(leaves):
             tables[leaf] = TruthTable.var(k, pos)
 
-        def walk(current: int) -> TruthTable:
-            hit = tables.get(current)
-            if hit is not None:
-                return hit
+        stack = [node]
+        while stack:
+            current = stack[-1]
+            if current in tables:
+                stack.pop()
+                continue
             if current not in self._fanins:
                 raise ValueError(f"node {current} is not covered by the cut")
             a, b = self._fanins[current]
-            ta = walk(lit_var(a))
+            pending = [v for v in (lit_var(a), lit_var(b)) if v not in tables]
+            if pending:
+                stack.extend(pending)
+                continue
+            ta = tables[lit_var(a)]
             if lit_compl(a):
                 ta = ~ta
-            tb = walk(lit_var(b))
+            tb = tables[lit_var(b)]
             if lit_compl(b):
                 tb = ~tb
-            result = ta & tb
-            tables[current] = result
-            return result
+            tables[current] = ta & tb
+            stack.pop()
+        return tables[node]
 
-        return walk(node)
+    def cone_inputs(self, node: int) -> List[int]:
+        """Primary-input node ids in the cone of ``node``, ascending."""
+        return sorted(
+            v for v in self.transitive_fanin(node) if 1 <= v <= self.n_inputs
+        )
+
+    def cone_function(self, literal: int, max_inputs: int = 16) -> Tuple[TruthTable, Tuple[int, ...]]:
+        """Global function of ``literal`` over its own input cone.
+
+        Returns ``(table, leaves)`` where ``leaves`` are the cone's
+        primary-input node ids (ascending) and variable ``i`` of the
+        table is leaf ``leaves[i]``.  Unlike :meth:`literal_table` this
+        scales with the *cone* width, not the full input count, so
+        narrow outputs of very wide netlists stay cheap.  Raises
+        :class:`ValueError` when the cone exceeds ``max_inputs``.
+        """
+        leaves = self.cone_inputs(lit_var(literal))
+        if len(leaves) > max_inputs:
+            raise ValueError(
+                f"cone of literal {literal} spans {len(leaves)} inputs "
+                f"(> cap {max_inputs})"
+            )
+        table = self.cut_function(lit_var(literal), leaves)
+        return (~table if lit_compl(literal) else table), tuple(leaves)
 
     # ------------------------------------------------------------------
     # Conversions

@@ -3,26 +3,53 @@
 The full application loop the paper targets: enumerate k-feasible cuts
 over the subject AIG, evaluate every cut's local function, decide by
 npn matching which library cells can implement it, and pick a cover by
-dynamic programming on (duplication-ignoring) area.  The matcher is
-invoked through the npn-canonical library index, so every distinct cut
-*class* costs one canonicalization — the statistics report how much the
-canonical-form cache saves.
+dynamic programming on (duplication-ignoring) area.
+
+Two matching paths share the cover selection:
+
+* **batched** (default) — the two-phase whole-netlist flow.  Phase one
+  (:func:`repro.aig.cuts.catalog_cut_functions`) evaluates every
+  non-trivial cut once and dedups the functions by exact ``(n, bits)``
+  identity, grouped by support width.  Phase two pushes each width
+  group through the :class:`~repro.engine.ClassificationEngine`
+  (kernel-batched pre-keys, membership probes, optional persistent
+  store warm-start/write-back) and binds each resulting npn class
+  against the cell index by witness replay
+  (:meth:`~repro.library.techmap.CellLibrary.bind_with_key`) — one
+  class-key resolution per *class*, one transform composition per
+  distinct function, and no matcher run at all.
+* **percut** — the historical baseline: each cut pays
+  ``canonical_form`` and consults a mapper-local class cache; repeats
+  of a known class still pay a full matcher call for the pin
+  assignment.  Kept for parity tests and as the benchmark's
+  before-measurement.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.aig.cuts import Cut, enumerate_cuts
+from repro.aig.cuts import Cut, CutCatalog, catalog_cut_functions, enumerate_cuts
 from repro.aig.graph import FALSE, Aig, lit_compl, lit_var
 from repro.benchcircuits.netlist import Gate, Netlist
 from repro.boolfunc.truthtable import TruthTable
 from repro.core.canonical import canonical_form
 from repro.core.matcher import match
+from repro.engine import ClassificationEngine, ClassKey, EngineOptions
 from repro.library.techmap import Binding, CellLibrary
+from repro.obs import runtime as _obs
+from repro.utils import bitops
 
 INVERTER_AREA = 1.0
+
+
+class MappingError(RuntimeError):
+    """An internal inconsistency in the mapping pipeline — a poisoned
+    npn-class cache, a stale store entry, or a cover that references
+    unmapped logic.  Deliberately loud: silently mis-binding a cell
+    would produce a functionally wrong netlist."""
 
 
 @dataclass
@@ -37,13 +64,59 @@ class MappedNode:
 
 
 @dataclass
+class ClassAccount:
+    """Per-npn-class accounting row of one batched mapping run.
+
+    ``distinct_functions`` counts the deduped cut functions the class
+    absorbed, ``cut_occurrences`` the raw cut evaluations behind them;
+    ``cell`` is the representative bound cell (members can differ in
+    inverter counts, never in class).  ``instances``/``area`` are filled
+    after cover selection with the chosen cover elements of the class.
+    """
+
+    n: int
+    key: int
+    quarantined: bool
+    distinct_functions: int
+    cut_occurrences: int
+    cell: Optional[str] = None
+    cell_area: float = 0.0
+    instances: int = 0
+    area: float = 0.0
+
+
+@dataclass
 class MappingStats:
-    """Work counters for one mapping run."""
+    """Work counters for one mapping run.
+
+    The first four fields are the historical per-cut counters (only the
+    ``percut`` path advances the cache/matcher ones); the rest describe
+    the batched flow: dedup, engine work, and witness-replay binds.
+    """
 
     cuts_evaluated: int = 0
     canonicalizations: int = 0
     class_cache_hits: int = 0
     matcher_calls: int = 0
+    distinct_cut_functions: int = 0
+    cut_classes: int = 0
+    bound_classes: int = 0
+    unbound_classes: int = 0
+    quarantined_classes: int = 0
+    witness_replays: int = 0
+    engine_canonicalizations: int = 0
+    engine_membership_hits: int = 0
+    engine_cache_hits: int = 0
+    engine_store_hits: int = 0
+    enumerate_seconds: float = 0.0
+    classify_seconds: float = 0.0
+    bind_seconds: float = 0.0
+
+    def dedup_rate(self) -> float:
+        """Fraction of cut evaluations resolved by exact dedup."""
+        if not self.cuts_evaluated:
+            return 0.0
+        return 1.0 - self.distinct_cut_functions / self.cuts_evaluated
 
 
 @dataclass
@@ -55,6 +128,7 @@ class MappingResult:
     output_literals: List[Tuple[str, int]]
     area: float
     stats: MappingStats = field(repr=False, default_factory=MappingStats)
+    class_accounts: List[ClassAccount] = field(repr=False, default_factory=list)
 
     def cell_histogram(self) -> Dict[str, int]:
         hist: Dict[str, int] = {}
@@ -64,7 +138,9 @@ class MappingResult:
 
     def to_netlist(self, name: str = "mapped") -> Netlist:
         """Emit the cover as a netlist (one SOP gate per cell instance,
-        NOT gates for output inverters) for independent verification."""
+        NOT gates for output inverters) for independent verification.
+        Emission is stack-based, so arbitrarily deep covers (e.g. a long
+        AND chain) never hit the recursion limit."""
         netlist = Netlist(name, list(self.aig.input_names), [o for o, _ in self.output_literals])
         net_of: Dict[int, str] = {
             1 + k: self.aig.input_names[k] for k in range(self.aig.n_inputs)
@@ -75,25 +151,36 @@ class MappingResult:
             net_of[FALSE] = "__const0"
 
         def emit(node: int) -> str:
-            if node in net_of:
-                return net_of[node]
-            mapped = self.nodes[node]
-            fanin_nets = tuple(emit(leaf) for leaf in mapped.cut.leaves)
-            rows = []
-            for m in mapped.function.minterms():
-                rows.append(
-                    "".join(
-                        "1" if (m >> pos) & 1 else "0"
-                        for pos in range(len(fanin_nets))
+            stack = [node]
+            while stack:
+                current = stack[-1]
+                if current in net_of:
+                    stack.pop()
+                    continue
+                mapped = self.nodes.get(current)
+                if mapped is None:
+                    raise MappingError(f"cover references unmapped node {current}")
+                pending = [leaf for leaf in mapped.cut.leaves if leaf not in net_of]
+                if pending:
+                    stack.extend(pending)
+                    continue
+                fanin_nets = tuple(net_of[leaf] for leaf in mapped.cut.leaves)
+                rows = []
+                for m in mapped.function.minterms():
+                    rows.append(
+                        "".join(
+                            "1" if (m >> pos) & 1 else "0"
+                            for pos in range(len(fanin_nets))
+                        )
                     )
-                )
-            net = f"g{node}"
-            if rows:
-                netlist.add_gate(Gate(net, "SOP", fanin_nets, tuple(rows), 1))
-            else:
-                netlist.add_gate(Gate(net, "CONST0"))
-            net_of[node] = net
-            return net
+                net = f"g{current}"
+                if rows:
+                    netlist.add_gate(Gate(net, "SOP", fanin_nets, tuple(rows), 1))
+                else:
+                    netlist.add_gate(Gate(net, "CONST0"))
+                net_of[current] = net
+                stack.pop()
+            return net_of[node]
 
         def literal_net(literal: int) -> str:
             base = emit(lit_var(literal))
@@ -109,39 +196,98 @@ class MappingResult:
         return netlist
 
     def verify(self, max_inputs: int = 14) -> bool:
-        """End-to-end check: the mapped netlist equals the subject AIG."""
-        mapped = self.to_netlist()
-        n = self.aig.n_inputs
+        """End-to-end check: the mapped netlist equals the subject AIG.
+
+        Each output is compared over its own input *cone*, so narrow
+        outputs of very wide netlists verify cheaply; the ``max_inputs``
+        bound applies per cone and is enforced up front — an output
+        whose cone exceeds it raises :class:`ValueError` before any
+        enumeration starts.  The comparison itself is pure table
+        algebra (replicate the mapped function over the cone width,
+        permute its support into cone positions, compare bits), so no
+        per-minterm Python loop runs.
+        """
+        aig = self.aig
+        cones: Dict[str, Tuple[int, ...]] = {}
         for out_name, literal in self.output_literals:
-            want = self.aig.literal_table(literal, max_inputs=max_inputs)
-            got, support = mapped.output_function(out_name, max_support=n)
-            bits = 0
-            for m in range(1 << n):
-                local = 0
-                for pos, var in enumerate(support):
-                    if (m >> var) & 1:
-                        local |= 1 << pos
-                if got.evaluate(local):
-                    bits |= 1 << m
-            if TruthTable(n, bits) != want:
+            leaves = tuple(aig.cone_inputs(lit_var(literal)))
+            if len(leaves) > max_inputs:
+                raise ValueError(
+                    f"output {out_name!r} depends on {len(leaves)} inputs, over "
+                    f"the max_inputs={max_inputs} verification bound; raise "
+                    f"max_inputs to verify it densely"
+                )
+            cones[out_name] = leaves
+        mapped = self.to_netlist()
+        for out_name, literal in self.output_literals:
+            leaves = cones[out_name]
+            k = len(leaves)
+            want = aig.cut_function(lit_var(literal), leaves)
+            if lit_compl(literal):
+                want = ~want
+            try:
+                got, support = mapped.output_function(out_name, max_support=k)
+            except ValueError:
+                return False  # cover reads inputs outside the spec cone
+            pos_of = {leaf: pos for pos, leaf in enumerate(leaves)}
+            j = len(support)
+            bits = got.bits
+            if k > j:
+                # Replicate over the cone width: vars j..k-1 are dummies.
+                bits *= ((1 << (1 << k)) - 1) // ((1 << (1 << j)) - 1)
+            perm = [0] * k
+            used = set()
+            for p, var in enumerate(support):
+                pos = pos_of.get(1 + var)
+                if pos is None:
+                    return False  # cover reads an input outside the cone
+                perm[p] = pos
+                used.add(pos)
+            spare = iter(pos for pos in range(k) if pos not in used)
+            for p in range(j, k):
+                perm[p] = next(spare)
+            if bitops.permute_vars(bits, k, perm) != want.bits:
                 return False
         return True
 
 
 class AigMapper:
-    """Map an AIG onto a :class:`CellLibrary` with npn matching."""
+    """Map an AIG onto a :class:`CellLibrary` with npn matching.
+
+    ``mode`` selects the matching path: ``"batched"`` (default) runs
+    the two-phase catalog → engine-classify → witness-replay flow,
+    ``"percut"`` the historical one-cut-at-a-time baseline.  A custom
+    ``engine`` (or ``engine_options``/``store``) configures the batched
+    path — pass a store-backed engine for cross-run warm starts, or
+    reuse one engine across many circuits so its canonical-key cache
+    persists.
+    """
 
     def __init__(
         self,
         library: Optional[CellLibrary] = None,
         cut_size: int = 4,
         max_cuts_per_node: int = 16,
+        mode: str = "batched",
+        engine: Optional[ClassificationEngine] = None,
+        engine_options: Optional[EngineOptions] = None,
+        store=None,
     ):
+        if mode not in ("batched", "percut"):
+            raise ValueError(f"unknown mapping mode {mode!r}")
+        if engine is not None and (engine_options is not None or store is not None):
+            raise ValueError("pass either engine or engine_options/store, not both")
         self.library = library if library is not None else CellLibrary()
         self.cut_size = cut_size
         self.max_cuts_per_node = max_cuts_per_node
+        self.mode = mode
+        self.engine = (
+            engine
+            if engine is not None
+            else ClassificationEngine(engine_options or EngineOptions(), store=store)
+        )
         self._cells_by_name = {cell.name: cell for cell in self.library.cells}
-        # npn-class cache: canonical bits -> cheapest cell (or None).
+        # percut npn-class cache: canonical bits -> cheapest cell (or None).
         self._class_cache: Dict[Tuple[int, int], Optional[str]] = {}
 
     def map(self, aig: Aig) -> Optional[MappingResult]:
@@ -150,8 +296,33 @@ class AigMapper:
         Returns ``None`` only when some required node has no matchable
         cut — impossible with a library containing a 2-input AND class.
         """
+        with _obs.tracer.span("mapper.map") as span:
+            result = self._map(aig)
+            if span.recording:
+                span.set("mode", self.mode)
+                span.set("and_nodes", aig.num_ands())
+                if result is not None:
+                    span.set("cells", len(result.nodes))
+                    span.set("area", result.area)
+                    span.set("cut_classes", result.stats.cut_classes)
+            return result
+
+    def _map(self, aig: Aig) -> Optional[MappingResult]:
         stats = MappingStats()
+        t0 = time.perf_counter()
         cuts = enumerate_cuts(aig, self.cut_size, self.max_cuts_per_node)
+        catalog: Optional[CutCatalog] = None
+        bindings: Dict[Tuple[int, int], Optional[Binding]] = {}
+        table_of: Dict[Tuple[int, int], TruthTable] = {}
+        accounts: Dict[ClassKey, ClassAccount] = {}
+        class_of: Dict[Tuple[int, int], ClassKey] = {}
+        if self.mode == "batched":
+            catalog = catalog_cut_functions(aig, cuts)
+            stats.cuts_evaluated = catalog.cut_functions_evaluated
+            stats.distinct_cut_functions = catalog.distinct_functions
+            stats.enumerate_seconds = time.perf_counter() - t0
+            self._bind_catalog(catalog, stats, bindings, table_of, accounts, class_of)
+
         best_cost: Dict[int, float] = {FALSE: 0.0}
         best_choice: Dict[int, Tuple[Cut, Binding, TruthTable]] = {}
         for idx in range(1, aig.n_inputs + 1):
@@ -159,15 +330,17 @@ class AigMapper:
 
         for node in aig.and_nodes():
             node_best: Optional[float] = None
-            for cut in cuts[node]:
-                if cut.leaves == (node,):
-                    continue  # trivial cut cannot implement the node
-                if any(leaf not in best_cost for leaf in cut.leaves):
-                    continue
-                stats.cuts_evaluated += 1
-                function = aig.cut_function(node, cut.leaves)
-                binding = self._bind(function, stats)
+            if catalog is not None:
+                candidates = (
+                    (cut, bindings.get(key), table_of[key])
+                    for cut, key in catalog.node_cuts[node]
+                )
+            else:
+                candidates = self._percut_candidates(aig, cuts[node], node, stats)
+            for cut, binding, function in candidates:
                 if binding is None:
+                    continue
+                if any(leaf not in best_cost for leaf in cut.leaves):
                     continue
                 cost = (
                     binding.cell.area
@@ -193,7 +366,13 @@ class AigMapper:
             seen.add(node)
             cut, binding, function = best_choice[node]
             chosen[node] = MappedNode(node, cut, binding, function)
-            area += binding.cell.area + INVERTER_AREA * binding.inverter_count()
+            cell_area = binding.cell.area + INVERTER_AREA * binding.inverter_count()
+            area += cell_area
+            if accounts:
+                account = accounts.get(class_of.get((function.n, function.bits)))
+                if account is not None:
+                    account.instances += 1
+                    account.area += cell_area
             stack.extend(cut.leaves)
         area += INVERTER_AREA * sum(
             1 for _, literal in aig.outputs if lit_compl(literal)
@@ -204,7 +383,110 @@ class AigMapper:
             output_literals=list(aig.outputs),
             area=area,
             stats=stats,
+            class_accounts=sorted(
+                accounts.values(), key=lambda a: (a.n, a.quarantined, a.key)
+            ),
         )
+
+    # ------------------------------------------------------------------
+    # Phase two of the batched flow
+    # ------------------------------------------------------------------
+
+    def _bind_catalog(
+        self,
+        catalog: CutCatalog,
+        stats: MappingStats,
+        bindings: Dict[Tuple[int, int], Optional[Binding]],
+        table_of: Dict[Tuple[int, int], TruthTable],
+        accounts: Dict[ClassKey, ClassAccount],
+        class_of: Dict[Tuple[int, int], ClassKey],
+    ) -> None:
+        """Classify every distinct cut function and bind each class.
+
+        One engine batch per support width; classes resolve to cells
+        through the indexed witness-replay path.  Quarantined classes
+        (no canonical key) fall back to the library's per-function bind.
+        """
+        occurrences: Dict[Tuple[int, int], int] = {}
+        for entries in catalog.node_cuts.values():
+            for _, key in entries:
+                occurrences[key] = occurrences.get(key, 0) + 1
+        t_start = time.perf_counter()
+        engine_seconds = 0.0
+        for width in sorted(catalog.distinct_by_width):
+            keys = catalog.distinct_by_width[width]
+            tables = [TruthTable(n, bits) for n, bits in keys]
+            for key, tt in zip(keys, tables):
+                table_of[key] = tt
+            result = self.engine.classify(tables)
+            es = result.stats
+            engine_seconds += es.total_seconds
+            stats.engine_canonicalizations += es.canonicalizations
+            stats.engine_membership_hits += es.membership_hits
+            stats.engine_cache_hits += es.cache_hits
+            stats.engine_store_hits += es.store_hits
+            stats.cut_classes += result.num_classes
+            for class_key, idxs in sorted(result.members.items()):
+                account = ClassAccount(
+                    n=class_key.n,
+                    key=class_key.key,
+                    quarantined=class_key.quarantined,
+                    distinct_functions=len(idxs),
+                    cut_occurrences=sum(occurrences[keys[i]] for i in idxs),
+                )
+                if class_key.quarantined:
+                    stats.quarantined_classes += 1
+                    for i in idxs:
+                        bindings[keys[i]] = self.library.bind(tables[i])
+                        stats.matcher_calls += 1
+                elif not self.library.entries_for(class_key.n, class_key.key):
+                    for i in idxs:
+                        bindings[keys[i]] = None
+                else:
+                    for i in idxs:
+                        t_f = self.engine.resolve_witness(tables[i], class_key.key)
+                        bindings[keys[i]] = self.library.bind_with_key(
+                            class_key.n, class_key.key, t_f
+                        )
+                        stats.witness_replays += 1
+                bound = next(
+                    (bindings[keys[i]] for i in idxs if bindings[keys[i]] is not None),
+                    None,
+                )
+                if bound is not None:
+                    account.cell = bound.cell.name
+                    account.cell_area = bound.cell.area
+                    stats.bound_classes += 1
+                else:
+                    stats.unbound_classes += 1
+                accounts[class_key] = account
+                for i in idxs:
+                    class_of[keys[i]] = class_key
+        elapsed = time.perf_counter() - t_start
+        stats.classify_seconds = engine_seconds
+        stats.bind_seconds = max(0.0, elapsed - engine_seconds)
+        if _obs.enabled:
+            reg = _obs.registry
+            reg.counter("mapper.cut_classes").inc(stats.cut_classes)
+            reg.counter("mapper.bound_classes").inc(stats.bound_classes)
+            reg.counter("mapper.unbound_classes").inc(stats.unbound_classes)
+            reg.counter("mapper.witness_replays").inc(stats.witness_replays)
+            reg.counter("mapper.distinct_cut_functions").inc(
+                stats.distinct_cut_functions
+            )
+            reg.counter("mapper.cuts_evaluated").inc(stats.cuts_evaluated)
+
+    # ------------------------------------------------------------------
+    # The percut baseline
+    # ------------------------------------------------------------------
+
+    def _percut_candidates(self, aig: Aig, node_cuts: List[Cut], node: int, stats: MappingStats):
+        for cut in node_cuts:
+            if cut.leaves == (node,):
+                continue  # trivial cut cannot implement the node
+            stats.cuts_evaluated += 1
+            function = aig.cut_function(node, cut.leaves)
+            yield cut, self._bind(function, stats), function
 
     def _bind(self, function: TruthTable, stats: MappingStats) -> Optional[Binding]:
         canon, _ = canonical_form(function)
@@ -219,8 +501,21 @@ class AigMapper:
         cell_name = self._class_cache[key]
         if cell_name is None:
             return None
-        cell = self._cells_by_name[cell_name]
+        cell = self._cells_by_name.get(cell_name)
+        if cell is None:
+            raise MappingError(
+                f"npn-class cache poisoned: class (n={key[0]}, key=0x{key[1]:x}) "
+                f"records unknown cell {cell_name!r}"
+            )
         transform = match(cell.function, function)
         stats.matcher_calls += 1
-        assert transform is not None  # class equality guarantees a match
+        if transform is None:
+            # Class equality must guarantee a match; surviving a stale or
+            # poisoned cache entry here would emit a functionally wrong
+            # netlist, so fail loudly (an assert would vanish under -O).
+            raise MappingError(
+                f"npn-class cache poisoned: cell {cell_name!r} recorded for "
+                f"class (n={key[0]}, key=0x{key[1]:x}) does not match cut "
+                f"function 0x{function.bits:x}"
+            )
         return Binding(cell, transform)

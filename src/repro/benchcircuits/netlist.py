@@ -102,24 +102,32 @@ class Netlist:
             self._topo_order(out)
 
     def _topo_order(self, net: str) -> List[str]:
+        # Iterative DFS (mapped covers of deep netlists — e.g. a long AND
+        # chain — would overflow Python's recursion limit otherwise).
         order: List[str] = []
         state: Dict[str, int] = {}
-
-        def visit(current: str, trail: Tuple[str, ...]) -> None:
+        stack: List[str] = [net]
+        while stack:
+            current = stack[-1]
             if current in self._input_index or state.get(current) == 2:
-                return
+                stack.pop()
+                continue
             if state.get(current) == 1:
-                raise ValueError(f"combinational cycle through {current!r}")
+                # Second visit: every fanin is finished (or on a cycle).
+                state[current] = 2
+                order.append(current)
+                stack.pop()
+                continue
             state[current] = 1
             gate = self.gates.get(current)
             if gate is None:
                 raise KeyError(f"net {current!r} is undriven")
             for fi in gate.fanins:
-                visit(fi, trail + (current,))
-            state[current] = 2
-            order.append(current)
-
-        visit(net, ())
+                fi_state = state.get(fi)
+                if fi_state == 1:
+                    raise ValueError(f"combinational cycle through {fi!r}")
+                if fi_state != 2 and fi not in self._input_index:
+                    stack.append(fi)
         return order
 
     # ------------------------------------------------------------------

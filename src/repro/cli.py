@@ -250,26 +250,75 @@ def cmd_decompose(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_netlist(ref: str):
+    """Load ``.blif`` / ``.pla`` / ``bench:NAME`` as a structural netlist.
+
+    Unlike :func:`load_circuit`, a BLIF file keeps its gate structure —
+    the whole-netlist mapping flow consumes the netlist as written
+    instead of collapsing it to per-output truth tables first.
+    """
+    path = Path(ref)
+    if path.suffix == ".blif" and not ref.startswith("bench:"):
+        return parse_blif(path.read_text())
+    return load_circuit(ref).to_netlist()
+
+
 def cmd_map(args: argparse.Namespace) -> int:
     from repro.aig import Aig, AigMapper
+    from repro.benchcircuits import write_blif
+    from repro.engine import EngineOptions
 
-    circuit = load_circuit(args.file)
-    aig = Aig.from_netlist(circuit.to_netlist())
-    mapper = AigMapper(cut_size=args.cut_size)
+    netlist = _load_netlist(args.file)
+    aig = Aig.from_netlist(netlist)
+    store = None
+    if args.store:
+        store = _open_store(args, create=True)
+    mapper = AigMapper(
+        cut_size=args.cut_size,
+        max_cuts_per_node=args.max_cuts,
+        mode=args.engine,
+        engine_options=EngineOptions(kernel=args.kernel, workers=args.workers),
+        store=store,
+    )
     start = time.perf_counter()
     result = mapper.map(aig)
     elapsed = time.perf_counter() - start
+    if store is not None:
+        store.flush()
     if result is None:
         print("mapping failed: library cannot cover the subject")
         return 1
     print(
-        f"{circuit.name}: {aig.num_ands()} AND nodes -> "
-        f"{len(result.nodes)} cells, area {result.area:.1f} ({elapsed:.2f} s)"
+        f"{netlist.name}: {aig.num_ands()} AND nodes -> "
+        f"{len(result.nodes)} cells, area {result.area:.1f} "
+        f"({args.engine}, {elapsed:.2f} s)"
     )
     for cell, count in sorted(result.cell_histogram().items(), key=lambda kv: -kv[1]):
         print(f"  {cell:<8} x{count}")
+    stats = result.stats
+    if args.stats:
+        print(
+            f"cuts evaluated      {stats.cuts_evaluated}\n"
+            f"distinct functions  {stats.distinct_cut_functions} "
+            f"(dedup {stats.dedup_rate() * 100.0:.1f}%)\n"
+            f"cut classes         {stats.cut_classes} "
+            f"({stats.bound_classes} bound, {stats.unbound_classes} unbound)\n"
+            f"witness replays     {stats.witness_replays}\n"
+            f"engine canon/cache/store hits  "
+            f"{stats.engine_canonicalizations}/{stats.engine_cache_hits}/"
+            f"{stats.engine_store_hits}\n"
+            f"matcher calls       {stats.matcher_calls}"
+        )
+    if args.explain:
+        from repro.obs import render_map_accounting
+
+        print(render_map_accounting(result))
+    if args.out:
+        mapped = result.to_netlist(name=f"{netlist.name}_mapped")
+        Path(args.out).write_text(write_blif(mapped))
+        print(f"mapped netlist written to {args.out}")
     if args.verify:
-        ok = result.verify()
+        ok = result.verify(max_inputs=args.verify_inputs)
         print(f"verification: {'PASS' if ok else 'FAIL'}")
         return 0 if ok else 1
     return 0
@@ -618,10 +667,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--esop", action="store_true", help="also minimize an ESOP cover")
     p.set_defaults(func=cmd_decompose)
 
-    p = sub.add_parser("map", help="AIG technology mapping onto the cell library")
+    p = sub.add_parser(
+        "map",
+        help="whole-netlist technology mapping onto the cell library",
+        description=(
+            "Map a netlist (BLIF, PLA, or bench:NAME) onto the cell "
+            "library: enumerate k-feasible cuts over the AIG, classify "
+            "every distinct cut function through the batch engine, bind "
+            "classes by witness replay, and pick a min-area cover."
+        ),
+    )
     p.add_argument("file")
     p.add_argument("--cut-size", type=int, default=4)
+    p.add_argument(
+        "--max-cuts", type=int, default=16, help="pruned cuts kept per node"
+    )
+    p.add_argument(
+        "--engine",
+        choices=("batched", "percut"),
+        default="batched",
+        help="matching path: two-phase batched flow or per-cut baseline",
+    )
+    p.add_argument(
+        "--kernel",
+        choices=("auto", "scalar", "batch"),
+        default="auto",
+        help="classification pre-key kernel (identical covers either way)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=0, help="engine worker processes"
+    )
+    p.add_argument(
+        "--store",
+        default=None,
+        help="persistent class store directory for warm-start/write-back",
+    )
+    p.add_argument("--out", default=None, help="write the mapped netlist as BLIF")
+    p.add_argument(
+        "--stats", action="store_true", help="print mapping work counters"
+    )
+    p.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the per-npn-class accounting of the cover",
+    )
     p.add_argument("--verify", action="store_true")
+    p.add_argument(
+        "--verify-inputs",
+        type=int,
+        default=14,
+        help="per-output cone width bound for --verify",
+    )
     p.set_defaults(func=cmd_map)
 
     p = sub.add_parser(

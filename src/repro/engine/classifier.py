@@ -729,6 +729,40 @@ class ClassificationEngine:
             _obs.registry.merge(metrics.snapshot())
         return EngineResult(functions=funcs, members=members, stats=metrics.to_stats())
 
+    def resolve_witness(self, f: TruthTable, canon_bits: int) -> NpnTransform:
+        """A transform ``t`` with ``t.apply(f).bits == canon_bits``.
+
+        The witness-replay companion of :meth:`classify`: callers that
+        learned ``f``'s class key from an :class:`EngineResult` (e.g. the
+        netlist mapper binding cut functions against a cell index) use
+        this to recover the canonicalizing transform.  Resolution is
+        cache-first — the in-process classify path records a witness for
+        every function it touches — then an early-exit membership probe
+        against the single known key, and finally a full
+        canonicalization.  Raises :class:`ValueError` if ``f`` does not
+        actually belong to the claimed class (a corrupted key, or a
+        quarantined key passed by mistake).
+        """
+        cached = self.cache.get((f.n, f.bits))
+        if cached is not None and cached[0] == canon_bits:
+            perm, input_neg, output_neg = cached[1]
+            return NpnTransform(tuple(perm), input_neg, bool(output_neg))
+        hit = probe_known(f, (canon_bits,), self.options)
+        if hit is not None:
+            self.cache.put(
+                (f.n, f.bits),
+                (canon_bits, (hit[1].perm, hit[1].input_neg, hit[1].output_neg)),
+            )
+            return hit[1]
+        canon, t = canonical_form(f, self.options.match_options, self.options.max_orderings)
+        if canon.bits != canon_bits:
+            raise ValueError(
+                f"function 0x{f.bits:x} (n={f.n}) canonicalizes to "
+                f"0x{canon.bits:x}, not the claimed class key 0x{canon_bits:x}"
+            )
+        self.cache.put((f.n, f.bits), (canon.bits, (t.perm, t.input_neg, t.output_neg)))
+        return t
+
     def _bucketize(
         self, members_of: Dict[Tuple[int, int], List[int]], metrics: _EngineMetrics
     ) -> Tuple[Dict[Tuple, List[Tuple[int, int]]], Dict[Tuple[int, int], Tuple]]:

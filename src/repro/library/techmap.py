@@ -201,6 +201,43 @@ class CellLibrary:
     def _has_width(self, n: int) -> bool:
         return any(key_n == n for key_n, _ in self._index)
 
+    def entries_for(self, n: int, canon_bits: int) -> Sequence[Tuple[LibraryCell, NpnTransform]]:
+        """The indexed ``(cell, witness)`` entries of one npn class."""
+        return self._index.get((n, canon_bits), ())
+
+    def bind_with_key(
+        self, f_n: int, canon_bits: int, t_f: NpnTransform
+    ) -> Optional[Binding]:
+        """Witness-replay bind of a target whose class key is already known.
+
+        The batched mapping path: phase two of the mapper resolves every
+        distinct cut function's canonical key through the classification
+        engine, then binds each class here without re-deriving the key.
+        ``t_f`` must canonicalize the target (``t_f.apply(f).bits ==
+        canon_bits``); the returned pin assignment is ``t_f⁻¹ ∘ t_cell``
+        for the cheapest cell of the class (smallest area, then fewest
+        implied inverters).  Returns ``None`` when the library has no
+        cell in the class.
+        """
+        entries = self._index.get((f_n, canon_bits))
+        if not entries:
+            if _obs.enabled:
+                _obs.registry.counter("library.bind_misses").inc()
+            return None
+        inv_f = t_f.invert()
+        best: Optional[Binding] = None
+        for cell, t_cell in sorted(entries, key=lambda e: e[0].area):
+            binding = Binding(cell, inv_f.compose(t_cell))
+            if (
+                best is None
+                or (binding.cell.area, binding.inverter_count())
+                < (best.cell.area, best.inverter_count())
+            ):
+                best = binding
+        if _obs.enabled:
+            _obs.registry.counter("library.bind_hits").inc()
+        return best
+
     def bind(self, f: TruthTable) -> Optional[Binding]:
         """Bind ``f`` to the cheapest matching cell and recover pins.
 
@@ -212,24 +249,7 @@ class CellLibrary:
             return None
         with scoped_timer("library.bind"):
             canon_bits, t_f = self._target_key(f)
-            entries = self._index.get((f.n, canon_bits))
-            if not entries:
-                if _obs.enabled:
-                    _obs.registry.counter("library.bind_misses").inc()
-                return None
-            inv_f = t_f.invert()
-            best: Optional[Binding] = None
-            for cell, t_cell in sorted(entries, key=lambda e: e[0].area):
-                binding = Binding(cell, inv_f.compose(t_cell))
-                if (
-                    best is None
-                    or (binding.cell.area, binding.inverter_count())
-                    < (best.cell.area, best.inverter_count())
-                ):
-                    best = binding
-            if _obs.enabled:
-                _obs.registry.counter("library.bind_hits").inc()
-            return best
+            return self.bind_with_key(f.n, canon_bits, t_f)
 
     def bind_linear(self, f: TruthTable) -> Optional[Binding]:
         """The pre-store baseline: canonicalize the target, then run the

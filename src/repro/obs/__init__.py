@@ -18,6 +18,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.profile import scoped_timer, timed
 from repro.obs.render import (
+    render_map_accounting,
     render_match_explanation,
     render_metrics,
     render_profile,
@@ -57,4 +58,5 @@ __all__ = [
     "render_metrics",
     "render_profile",
     "render_match_explanation",
+    "render_map_accounting",
 ]

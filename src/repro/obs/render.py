@@ -222,3 +222,61 @@ def render_profile(registry: MetricsRegistry, top: int = 20) -> str:
         mean = total / n if n else 0.0
         lines.append(f"{name:<40} {n:>8.0f} {total:>9.3f}s {mean * 1e3:>8.3f}ms")
     return "\n".join(lines)
+
+
+def render_map_accounting(result: Any, top: int = 20) -> str:
+    """Per-npn-class accounting table of one batched mapping run.
+
+    ``result`` is a :class:`repro.aig.MappingResult` (duck-typed here to
+    keep :mod:`repro.obs` dependency-free): one row per cut-function
+    class, ordered by area contributed to the chosen cover, plus a
+    work-summary footer from the mapping stats.
+    """
+    stats = result.stats
+    accounts = sorted(
+        result.class_accounts,
+        key=lambda a: (-a.area, -a.cut_occurrences, a.n, a.key),
+    )
+    lines: List[str] = []
+    if accounts:
+        lines.append(
+            f"{'class':<22} {'cell':<10} {'fns':>5} {'cuts':>6} "
+            f"{'inst':>5} {'area':>8}"
+        )
+        for account in accounts[:top]:
+            label = f"n={account.n} 0x{account.key:x}"
+            if account.quarantined:
+                label += " [q]"
+            lines.append(
+                f"{label:<22} {account.cell or '-':<10} "
+                f"{account.distinct_functions:>5} {account.cut_occurrences:>6} "
+                f"{account.instances:>5} {account.area:>8.1f}"
+            )
+        if len(accounts) > top:
+            rest = accounts[top:]
+            lines.append(
+                f"{'... ' + str(len(rest)) + ' more':<22} {'':<10} "
+                f"{sum(a.distinct_functions for a in rest):>5} "
+                f"{sum(a.cut_occurrences for a in rest):>6} "
+                f"{sum(a.instances for a in rest):>5} "
+                f"{sum(a.area for a in rest):>8.1f}"
+            )
+    else:
+        lines.append("(no class accounting: percut mode records none)")
+    lines.append(
+        f"cuts {stats.cuts_evaluated} -> {stats.distinct_cut_functions} distinct "
+        f"({stats.dedup_rate() * 100.0:.1f}% dedup) -> {stats.cut_classes} classes "
+        f"({stats.bound_classes} bound, {stats.unbound_classes} unbound, "
+        f"{stats.quarantined_classes} quarantined)"
+    )
+    lines.append(
+        f"engine: {stats.engine_canonicalizations} canonicalizations, "
+        f"{stats.engine_membership_hits} membership hits, "
+        f"{stats.engine_cache_hits} cache hits, {stats.engine_store_hits} store hits; "
+        f"{stats.witness_replays} witness replays, {stats.matcher_calls} matcher calls"
+    )
+    lines.append(
+        f"phases: enumerate {stats.enumerate_seconds:.3f}s, "
+        f"classify {stats.classify_seconds:.3f}s, bind {stats.bind_seconds:.3f}s"
+    )
+    return "\n".join(lines)

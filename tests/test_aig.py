@@ -157,13 +157,27 @@ def test_enumerate_cuts_rejects_tiny_k():
 # ----------------------------------------------------------------------
 
 def test_full_adder_maps_to_xor3_and_maj3():
+    # percut binds each cut through `match`, which lands the direct
+    # zero-inverter assignment, so the cover is the two dedicated cells.
     aig = Aig.from_netlist(_full_adder_netlist())
-    result = AigMapper().map(aig)
+    result = AigMapper(mode="percut").map(aig)
     assert result is not None
     hist = result.cell_histogram()
     assert hist.get("XOR3", 0) + hist.get("FA_SUM", 0) == 1
     assert hist.get("MAJ3", 0) + hist.get("FA_CARRY", 0) == 1
     assert result.verify()
+
+
+def test_full_adder_batched_cover_verifies():
+    # The batched flow recovers pin assignments by witness replay; a
+    # replayed witness may imply different inverters than the matcher's
+    # direct assignment, so the exact cell choice (not correctness, not
+    # cell count by much) can differ from percut.
+    aig = Aig.from_netlist(_full_adder_netlist())
+    result = AigMapper().map(aig)
+    assert result is not None
+    assert result.verify()
+    assert len(result.nodes) <= 3
 
 
 def test_random_functions_map_and_verify(rng):
@@ -183,7 +197,23 @@ def test_benchmark_circuit_mapping():
     result = AigMapper().map(aig)
     assert result is not None and result.verify()
     assert result.area > 0
+    # The batched flow dedups cut functions and never runs the matcher.
+    stats = result.stats
+    assert 0 < stats.distinct_cut_functions < stats.cuts_evaluated
+    assert stats.cut_classes > 0 and stats.witness_replays > 0
+    assert stats.matcher_calls == 0
+    assert result.class_accounts and any(
+        a.instances > 0 for a in result.class_accounts
+    )
+
+
+def test_benchmark_circuit_mapping_percut():
+    circuit = build_circuit("con1")
+    aig = Aig.from_netlist(circuit.to_netlist())
+    result = AigMapper(mode="percut").map(aig)
+    assert result is not None and result.verify()
     assert result.stats.class_cache_hits > 0
+    assert result.stats.canonicalizations > 0
 
 
 def test_mapping_with_tiny_library_fails_gracefully():
@@ -214,3 +244,124 @@ def test_constant_and_passthrough_outputs():
     result = AigMapper().map(aig)
     assert result is not None
     assert result.verify()
+
+
+# ----------------------------------------------------------------------
+# Mapper correctness regressions
+# ----------------------------------------------------------------------
+
+def test_verify_enforces_max_inputs_up_front():
+    # An output cone wider than the bound must raise before any
+    # enumeration starts — the bound used to be silently ignored.
+    aig = Aig(6)
+    aig.add_output("y", aig.and_many([aig.input_literal(k) for k in range(6)]))
+    result = AigMapper().map(aig)
+    assert result is not None
+    with pytest.raises(ValueError, match="max_inputs"):
+        result.verify(max_inputs=3)
+    assert result.verify(max_inputs=6)
+
+
+def _deep_and_chain(n_inputs: int) -> Aig:
+    # y = x0 & x1 & ... — built as a linear chain, one level per input,
+    # so the mapped cover is itself a chain of ~n/3 4-input cells.
+    aig = Aig(n_inputs)
+    acc = aig.input_literal(0)
+    for k in range(1, n_inputs):
+        acc = aig.and_(acc, aig.input_literal(k))
+    aig.add_output("y", acc)
+    return aig
+
+
+def test_deep_chain_maps_without_recursion_error():
+    # A 4000-level AND chain maps to a >1000-cell chain: recursive
+    # netlist emission (and the netlist topological sort) used to blow
+    # the Python recursion limit well below this depth.
+    n = 4000
+    aig = _deep_and_chain(n)
+    result = AigMapper().map(aig)
+    assert result is not None
+    lowered = result.to_netlist()
+    assert len(lowered.gates) > 1000
+    lowered.validate()  # topological sort over the full depth
+    # The cone is far too wide for truth tables; spot-check semantics
+    # with a direct gate-level evaluation against the AIG simulator.
+    from repro.aig import lit_compl as _compl
+
+    for minterm in (0, (1 << n) - 1, (1 << n) - 2, (1 << n) - (1 << 1777) - 1):
+        values = {name: (minterm >> pos) & 1 for pos, name in enumerate(lowered.inputs)}
+        for net in lowered._topo_order("y"):
+            gate = lowered.gates[net]
+            ins = [values[fi] for fi in gate.fanins]
+            if gate.op == "CONST0":
+                values[net] = 0
+            elif gate.op == "NOT":
+                values[net] = 1 - ins[0]
+            elif gate.op == "BUF":
+                values[net] = ins[0]
+            elif gate.op == "SOP":
+                hit = any(
+                    all(
+                        (row[pos] == "1") == bool(ins[pos])
+                        for pos in range(len(ins))
+                    )
+                    for row in gate.cover
+                )
+                values[net] = int(hit) if gate.cover_value else 1 - int(hit)
+            else:  # pragma: no cover - emitter only produces the above
+                raise AssertionError(gate.op)
+        sim = aig.simulate(minterm)
+        _, literal = aig.outputs[0]
+        want = sim[lit_var(literal)] ^ int(_compl(literal))
+        assert values["y"] == want
+
+
+def test_percut_poisoned_cache_raises_mapping_error():
+    from repro.aig import MappingError
+
+    aig = Aig.from_netlist(_full_adder_netlist())
+    mapper = AigMapper(mode="percut")
+    assert mapper.map(aig) is not None
+    # Cross-wire every cached class to a same-width cell of a different
+    # npn class; the cache-hit path must diagnose the mismatch instead
+    # of silently binding a wrong cell (the old code used a bare assert,
+    # stripped under ``python -O``).
+    from repro.core.canonical import canonical_form
+
+    poisoned = 0
+    for key, value in list(mapper._class_cache.items()):
+        if value is None:
+            continue
+        wrong = next(
+            (
+                cell.name
+                for cell in mapper.library.cells
+                if cell.function.n == key[0]
+                and canonical_form(cell.function)[0].bits != key[1]
+            ),
+            None,
+        )
+        if wrong is not None:
+            mapper._class_cache[key] = wrong
+            poisoned += 1
+    assert poisoned > 0
+    with pytest.raises(MappingError, match="poisoned"):
+        mapper.map(aig)
+
+
+def test_percut_unknown_cached_cell_raises_mapping_error():
+    from repro.aig import MappingError
+
+    aig = Aig.from_netlist(_full_adder_netlist())
+    mapper = AigMapper(mode="percut")
+    assert mapper.map(aig) is not None
+    for key, value in list(mapper._class_cache.items()):
+        if value is not None:
+            mapper._class_cache[key] = "NO_SUCH_CELL"
+    with pytest.raises(MappingError, match="unknown cell"):
+        mapper.map(aig)
+
+
+def test_mapper_rejects_unknown_mode():
+    with pytest.raises(ValueError, match="mode"):
+        AigMapper(mode="bogus")

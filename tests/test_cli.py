@@ -85,6 +85,45 @@ def test_map_subcommand(capsys):
     assert "PASS" in out and "area" in out
 
 
+def test_map_stats_explain_and_blif_out(tmp_path, capsys):
+    out_path = tmp_path / "mapped.blif"
+    code, out = run_cli(
+        capsys,
+        "map",
+        "bench:rd53",
+        "--stats",
+        "--explain",
+        "--verify",
+        "--out",
+        str(out_path),
+        "--store",
+        str(tmp_path / "store"),
+    )
+    assert code == 0
+    assert "distinct functions" in out and "witness replays" in out
+    assert "classes" in out  # per-class accounting table
+    assert "PASS" in out
+    assert out_path.read_text().startswith(".model")
+
+
+def test_map_percut_engine(capsys):
+    code, out = run_cli(capsys, "map", "bench:rd53", "--engine", "percut", "--verify")
+    assert code == 0
+    assert "percut" in out and "PASS" in out
+
+
+def test_map_blif_file_keeps_structure(tmp_path, capsys):
+    # A BLIF input is mapped as the structural netlist it describes.
+    blif = tmp_path / "fa.blif"
+    blif.write_text(
+        ".model fa\n.inputs a b cin\n.outputs sum\n"
+        ".names a b cin sum\n100 1\n010 1\n001 1\n111 1\n.end\n"
+    )
+    code, out = run_cli(capsys, "map", str(blif), "--verify")
+    assert code == 0
+    assert "PASS" in out
+
+
 def test_table1_subset(capsys):
     code, out = run_cli(capsys, "table1", "con1", "z4ml")
     assert code == 0

@@ -1,0 +1,146 @@
+"""End-to-end tests of the two-phase whole-netlist mapping flow.
+
+Covers the batched catalog → engine-classify → witness-replay path:
+map + verify round trips over benchmark circuits, kernel-mode cover
+identity, store warm-start, and the per-class accounting surface.
+"""
+
+import pytest
+
+from repro.aig import Aig, AigMapper, catalog_cut_functions
+from repro.benchcircuits import build_circuit, write_blif
+from repro.benchcircuits.suite import EXTRA_CIRCUITS, TABLE1_CIRCUITS
+from repro.engine import ClassificationEngine, EngineOptions
+from repro.library import CellLibrary
+from repro.obs import render_map_accounting
+from repro.store import ClassStore
+
+SEEDED_SUBSET = ["rd53", "xor5", "maj", "con1", "z4ml", "rd73"]
+
+
+def _aig(name: str) -> Aig:
+    return Aig.from_netlist(build_circuit(name).to_netlist())
+
+
+# ----------------------------------------------------------------------
+# Map + verify round trips
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", SEEDED_SUBSET)
+def test_seeded_subset_maps_and_verifies(name):
+    aig = _aig(name)
+    result = AigMapper().map(aig)
+    assert result is not None
+    assert result.verify(max_inputs=14)
+    stats = result.stats
+    assert stats.distinct_cut_functions <= stats.cuts_evaluated
+    assert stats.bound_classes + stats.unbound_classes + (
+        stats.quarantined_classes
+    ) >= stats.bound_classes  # counters are consistent
+    assert stats.cut_classes == len(result.class_accounts)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "name", [spec.name for spec in TABLE1_CIRCUITS + EXTRA_CIRCUITS]
+)
+def test_full_registry_maps_and_verifies(name):
+    aig = _aig(name)
+    mapper = AigMapper()
+    result = mapper.map(aig)
+    assert result is not None
+    assert result.verify(max_inputs=21)  # cm150a's mux cone is 21 wide
+
+
+# ----------------------------------------------------------------------
+# Kernel modes must not change the cover
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ["rd73", "z4ml", "con1"])
+def test_scalar_and_batch_kernels_emit_identical_covers(name):
+    aig = _aig(name)
+    covers = {}
+    for kernel in ("scalar", "batch"):
+        mapper = AigMapper(engine_options=EngineOptions(kernel=kernel))
+        result = mapper.map(aig)
+        assert result is not None
+        covers[kernel] = (
+            result.area,
+            write_blif(result.to_netlist()),
+        )
+    assert covers["scalar"][0] == covers["batch"][0]
+    assert covers["scalar"][1] == covers["batch"][1]  # byte-identical
+
+
+# ----------------------------------------------------------------------
+# Store warm-start
+# ----------------------------------------------------------------------
+
+def test_store_warm_start_hits_and_matches_cold_cover(tmp_path):
+    aig = _aig("rd73")
+    store_dir = str(tmp_path / "mapstore")
+
+    cold_store = ClassStore(store_dir, create=True)
+    cold = AigMapper(store=cold_store).map(aig)
+    assert cold is not None
+    cold_store.flush()
+    assert cold.stats.engine_store_hits == 0
+
+    warm_store = ClassStore(store_dir)
+    warm = AigMapper(store=warm_store).map(aig)
+    assert warm is not None
+    assert warm.stats.engine_store_hits > 0
+    assert warm.stats.engine_canonicalizations < cold.stats.engine_canonicalizations
+    assert warm.area == cold.area
+    assert warm.verify(max_inputs=14)
+
+
+def test_shared_engine_reuses_cache_across_circuits():
+    engine = ClassificationEngine(EngineOptions())
+    mapper = AigMapper(engine=engine)
+    first = mapper.map(_aig("rd53"))
+    second = mapper.map(_aig("rd53"))
+    assert first is not None and second is not None
+    assert second.stats.engine_cache_hits > 0
+    assert second.area == first.area
+
+
+# ----------------------------------------------------------------------
+# Catalog and accounting surfaces
+# ----------------------------------------------------------------------
+
+def test_catalog_dedup_accounting():
+    aig = _aig("z4ml")
+    catalog = catalog_cut_functions(aig)
+    assert catalog.cut_functions_evaluated > catalog.distinct_functions > 0
+    assert 0.0 < catalog.dedup_rate() < 1.0
+    # Every non-trivial cut of every AND node is cataloged.
+    assert set(catalog.node_cuts) == set(aig.and_nodes())
+    for entries in catalog.node_cuts.values():
+        for _, key in entries:
+            assert key in catalog.distinct_by_width[key[0]]
+
+
+def test_class_accounting_render():
+    result = AigMapper().map(_aig("rd73"))
+    assert result is not None
+    text = render_map_accounting(result)
+    assert "classes" in text and "witness replays" in text
+    chosen_area = sum(a.area for a in result.class_accounts)
+    # Account areas cover exactly the cell cover (output inverters are
+    # accounted at the result level, not per class).
+    from repro.aig.mapper import INVERTER_AREA
+    from repro.aig import lit_compl
+
+    output_inv = INVERTER_AREA * sum(
+        1 for _, lit in result.aig.outputs if lit_compl(lit)
+    )
+    assert chosen_area == pytest.approx(result.area - output_inv)
+
+
+def test_mapper_engine_and_options_are_exclusive():
+    with pytest.raises(ValueError):
+        AigMapper(
+            engine=ClassificationEngine(EngineOptions()),
+            engine_options=EngineOptions(),
+        )
