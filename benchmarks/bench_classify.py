@@ -40,29 +40,18 @@ import sys
 import time
 from pathlib import Path
 
-from repro.boolfunc.transform import NpnTransform
 from repro.boolfunc.truthtable import TruthTable
 from repro.core.canonical import canonical_form
 from repro.engine import ClassificationEngine, EngineOptions, classify_batch
 from repro.grm.transform import fprm_coefficients
 from repro.obs import runtime as obs_runtime
 from repro.obs.metrics import MetricsRegistry
-
-POOL_SIZE = 64
-N_VARS = 5
-
-
-def make_repeated_batch(size: int, rng: random.Random):
-    """Half exact repeats of a 64-function pool, half fresh transforms."""
-    pool = [TruthTable.random(N_VARS, rng) for _ in range(POOL_SIZE)]
-    batch = []
-    for _ in range(size):
-        f = rng.choice(pool)
-        if rng.random() < 0.5:
-            batch.append(NpnTransform.random(N_VARS, rng).apply(f))
-        else:
-            batch.append(f)
-    return batch
+from repro.testing.workloads import (
+    DEFAULT_N_VARS as N_VARS,
+    DEFAULT_POOL_SIZE as POOL_SIZE,
+    make_random_batch,
+    make_repeated_batch,
+)
 
 
 def fresh_tables(batch):
@@ -141,7 +130,7 @@ def main(argv=None) -> int:
     )
 
     # -- pure random (honest no-repeat case) ------------------------------
-    rand_batch = [TruthTable.random(N_VARS, rng) for _ in range(size)]
+    rand_batch = make_random_batch(size, rng)
     t_base_r = min(run_baseline(rand_batch)[0] for _ in range(trials))
     _, base_keys_r = run_baseline(rand_batch)
     t_eng_r, result_r = min(

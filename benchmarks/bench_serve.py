@@ -1,0 +1,210 @@
+"""Seeded load harness for the matching daemon.
+
+Standalone (argparse, no pytest) so CI can run it as a smoke step::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick
+
+The workload is the shared seeded hot/cold request mix
+(:func:`repro.testing.workloads.make_traffic_mix`): 80% *hot* requests
+drawn from a small pool of base functions (half disguised by random NPN
+transforms — the library-matching shape where dedup, caching, and
+membership probes pay), 20% *cold* uniform-random tables.
+
+For each concurrency level the harness boots a fresh in-process
+:class:`MatchServer` (cold caches, deterministic workload slice per
+worker thread), drives it with ``concurrency`` blocking clients, and
+records client-side wall-time percentiles (exact, from the recorded
+per-request latencies — not the server's bucketed histograms) plus the
+server's own coalescing counters.  Each level runs twice: micro-batching
+on (the serving default) and off (``max_batch=1, max_wait=0`` through
+the same code path), and the throughput margin between the two arms is
+recorded — the number that justifies the batching window's existence.
+
+Results are written to ``BENCH_serve.json`` (override with ``--out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.serve import MatchServer, ServeConfig, ServerThread
+from repro.serve.client import MatchClient
+from repro.testing.workloads import DEFAULT_N_VARS, DEFAULT_POOL_SIZE, make_traffic_mix
+
+
+def percentile(sorted_values, q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[idx]
+
+
+def latency_summary(latencies) -> dict:
+    ordered = sorted(latencies)
+    return {
+        "count": len(ordered),
+        "mean_ms": (sum(ordered) / len(ordered)) * 1e3 if ordered else 0.0,
+        "p50_ms": percentile(ordered, 0.50) * 1e3,
+        "p99_ms": percentile(ordered, 0.99) * 1e3,
+    }
+
+
+def run_level(tagged, concurrency: int, batching: bool, serve_args: dict) -> dict:
+    """Drive one fresh server with ``concurrency`` blocking clients."""
+    config = ServeConfig(batching=batching, **serve_args)
+    server = MatchServer(config=config)
+    st = ServerThread(server).start()
+    slices = [tagged[i::concurrency] for i in range(concurrency)]
+    barrier = threading.Barrier(concurrency + 1)
+    lock = threading.Lock()
+    latencies = {"hot": [], "cold": []}
+    errors = []
+
+    def worker(slice_) -> None:
+        try:
+            with MatchClient(port=st.port) as client:
+                barrier.wait()
+                local = {"hot": [], "cold": []}
+                for tag, table in slice_:
+                    t0 = time.perf_counter()
+                    client.classify(table)
+                    local[tag].append(time.perf_counter() - t0)
+            with lock:
+                latencies["hot"].extend(local["hot"])
+                latencies["cold"].extend(local["cold"])
+        except Exception as exc:  # surfaced after join; must not hang the barrier
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(s,), daemon=True) for s in slices
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    if errors:
+        raise errors[0]
+    with MatchClient(port=st.port) as client:
+        stats = client.stats()
+    st.stop()
+    every = latencies["hot"] + latencies["cold"]
+    return {
+        "batching": batching,
+        "concurrency": concurrency,
+        "requests": len(tagged),
+        "elapsed_seconds": elapsed,
+        "throughput_rps": len(tagged) / elapsed if elapsed else 0.0,
+        "latency": {
+            "all": latency_summary(every),
+            "hot": latency_summary(latencies["hot"]),
+            "cold": latency_summary(latencies["cold"]),
+        },
+        "server": {
+            "engine_batches": stats["batching"]["batches"],
+            "engine_tables": stats["batching"]["tables"],
+            "mean_batch_fill": stats["batching"]["mean_fill"],
+            "overloaded": stats["counters"].get("serve.overloaded", 0),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--requests", type=int, default=600, help="requests per level")
+    ap.add_argument("--seed", type=int, default=7)
+    ap.add_argument(
+        "--levels",
+        type=int,
+        nargs="+",
+        default=[4, 16, 32],
+        help="concurrency levels (client thread counts)",
+    )
+    ap.add_argument("--hot-fraction", type=float, default=0.8, dest="hot_fraction")
+    ap.add_argument("--max-batch", type=int, default=128, dest="max_batch")
+    ap.add_argument(
+        "--max-wait-ms", type=float, default=2.0, dest="max_wait_ms"
+    )
+    ap.add_argument(
+        "--quick", action="store_true", help="small request count per level"
+    )
+    ap.add_argument("--out", default=None, help="JSON output path")
+    args = ap.parse_args(argv)
+
+    requests = 120 if args.quick else args.requests
+    serve_args = {"max_batch": args.max_batch, "max_wait": args.max_wait_ms / 1e3}
+    report = {
+        "benchmark": "bench_serve",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "seed": args.seed,
+        "requests_per_level": requests,
+        "hot_fraction": args.hot_fraction,
+        "pool_size": DEFAULT_POOL_SIZE,
+        "n_vars": DEFAULT_N_VARS,
+        "max_batch": args.max_batch,
+        "max_wait_ms": args.max_wait_ms,
+        "levels": {},
+    }
+
+    margins = {}
+    for concurrency in args.levels:
+        # identical seeded mix for both arms of this level
+        tagged = make_traffic_mix(
+            requests, random.Random(args.seed), hot_fraction=args.hot_fraction
+        )
+        on = run_level(tagged, concurrency, batching=True, serve_args=serve_args)
+        off = run_level(tagged, concurrency, batching=False, serve_args=serve_args)
+        margin = on["throughput_rps"] / off["throughput_rps"]
+        margins[concurrency] = margin
+        report["levels"][str(concurrency)] = {
+            "batching_on": on,
+            "batching_off": off,
+            "batching_margin": margin,
+        }
+        print(
+            f"concurrency={concurrency}: on {on['throughput_rps']:.0f} rps "
+            f"(p50 {on['latency']['all']['p50_ms']:.2f} ms, "
+            f"p99 {on['latency']['all']['p99_ms']:.2f} ms, "
+            f"fill {on['server']['mean_batch_fill']:.1f}) | "
+            f"off {off['throughput_rps']:.0f} rps "
+            f"(p50 {off['latency']['all']['p50_ms']:.2f} ms, "
+            f"p99 {off['latency']['all']['p99_ms']:.2f} ms) | "
+            f"margin {margin:.2f}x"
+        )
+
+    # Batching pays where it is designed to pay: under concurrency.  At
+    # trivial concurrency the window is pure added latency (nothing to
+    # coalesce), so the regression gate is the HIGHEST level's margin.
+    top = max(margins) if margins else None
+    report["batching_margin_at_top_concurrency"] = margins.get(top)
+    out = (
+        Path(args.out)
+        if args.out
+        else Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+    )
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if not args.quick and top is not None and margins[top] < 1.0:
+        print(
+            "WARNING: batching lost to batching-off at the highest "
+            "concurrency level",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,8 @@ Subcommands::
     table1 [NAMES...]          run the paper's Table 1 experiment
     bench-info NAME            describe a built-in benchmark circuit
     obs report FILE            render a trace JSONL or metrics snapshot
+    serve                      run the matching daemon (NDJSON/HTTP)
+    client OP [FILES...]       talk to a running matching daemon
 
 ``FILE`` is a ``.pla`` or ``.blif`` file, or ``bench:NAME[:OUTPUT]`` to
 reference a built-in benchmark circuit from the Table-1 suite.
@@ -164,6 +166,20 @@ def cmd_classify(args: argparse.Namespace) -> int:
         workers=args.workers, cache_size=args.cache_size, kernel=args.kernel
     )
     result = ClassificationEngine(options).classify(tables)
+    if args.json:
+        from repro.obs import stats_json
+
+        print(
+            stats_json(
+                {
+                    "circuit": circuit.name,
+                    "outputs": len(circuit.outputs),
+                    "num_classes": result.num_classes,
+                    "engine": result.stats,
+                }
+            )
+        )
+        return 0
     if args.report == "json":
         import json
 
@@ -288,15 +304,35 @@ def cmd_map(args: argparse.Namespace) -> int:
     if result is None:
         print("mapping failed: library cannot cover the subject")
         return 1
-    print(
-        f"{netlist.name}: {aig.num_ands()} AND nodes -> "
-        f"{len(result.nodes)} cells, area {result.area:.1f} "
-        f"({args.engine}, {elapsed:.2f} s)"
-    )
-    for cell, count in sorted(result.cell_histogram().items(), key=lambda kv: -kv[1]):
-        print(f"  {cell:<8} x{count}")
     stats = result.stats
-    if args.stats:
+    if args.json:
+        from repro.obs import stats_json
+
+        print(
+            stats_json(
+                {
+                    "circuit": netlist.name,
+                    "and_nodes": aig.num_ands(),
+                    "cells": len(result.nodes),
+                    "area": result.area,
+                    "engine_mode": args.engine,
+                    "elapsed_seconds": elapsed,
+                    "cell_histogram": result.cell_histogram(),
+                    "stats": stats,
+                }
+            )
+        )
+    else:
+        print(
+            f"{netlist.name}: {aig.num_ands()} AND nodes -> "
+            f"{len(result.nodes)} cells, area {result.area:.1f} "
+            f"({args.engine}, {elapsed:.2f} s)"
+        )
+        for cell, count in sorted(
+            result.cell_histogram().items(), key=lambda kv: -kv[1]
+        ):
+            print(f"  {cell:<8} x{count}")
+    if args.stats and not args.json:
         print(
             f"cuts evaluated      {stats.cuts_evaluated}\n"
             f"distinct functions  {stats.distinct_cut_functions} "
@@ -559,6 +595,93 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the matching daemon until SIGTERM/SIGINT (or a shutdown op)."""
+    import asyncio
+
+    from repro.engine import ClassificationEngine, EngineOptions
+    from repro.obs import runtime as obs_runtime
+    from repro.serve import MatchServer, ServeConfig
+
+    store = _open_store(args, create=True) if args.store else None
+    engine = ClassificationEngine(
+        EngineOptions(kernel=args.kernel, cache_size=args.cache_size),
+        store=store,
+        auto_flush=False,
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait=args.max_wait_ms / 1e3,
+        max_pending=args.max_pending,
+        flush_interval=args.flush_interval,
+        compact_every=args.compact_every,
+        batching=not args.no_batching,
+    )
+    metrics = obs_runtime.registry if obs_runtime.enabled else None
+    server = MatchServer(engine=engine, config=config, metrics=metrics)
+
+    async def run() -> None:
+        await server.start()
+        server.install_signal_handlers()
+        cfg = server.config
+        print(
+            f"grm-match serve: listening on {cfg.host}:{server.port} "
+            f"(max_batch={cfg.max_batch}, max_wait={cfg.max_wait * 1e3:g} ms, "
+            f"max_pending={cfg.max_pending}"
+            f"{', store=' + str(args.store) if args.store else ''})",
+            flush=True,
+        )
+        await server.wait_stopped()
+
+    asyncio.run(run())
+    if store is not None:
+        store.close()
+    print("grm-match serve: stopped")
+    return 0
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """One request against a running daemon; result printed as JSON."""
+    from repro.obs import stats_json
+    from repro.serve.client import MatchClient, ServerError
+
+    def need_files(count: int) -> None:
+        if len(args.files) != count:
+            raise SystemExit(
+                f"error: client {args.op} takes exactly {count} FILE argument(s)"
+            )
+
+    try:
+        with MatchClient(host=args.host, port=args.port) as client:
+            if args.op in ("ping", "stats", "shutdown"):
+                need_files(0)
+                print(stats_json(client.request({"op": args.op})))
+                return 0
+            if args.op == "match":
+                need_files(2)
+                a = _single_output(load_circuit(args.files[0]), args.files[0])
+                b = _single_output(load_circuit(args.files[1]), args.files[1])
+                result = client.match(a.table, b.table, witness=args.witness)
+                print(stats_json(result))
+                return 0 if result.get("equivalent") else 1
+            # classify / lookup: one result per circuit output
+            need_files(1)
+            circuit = load_circuit(args.files[0])
+            call = client.classify if args.op == "classify" else client.lookup
+            print(
+                stats_json({out.name: call(out.table) for out in circuit.outputs})
+            )
+            return 0
+    except ServerError as exc:
+        print(f"error: server replied {exc.code}: {exc.detail}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+
+
 def cmd_bench_info(args: argparse.Namespace) -> int:
     spec = get_spec(args.name)
     circuit = build_circuit(args.name)
@@ -644,6 +767,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true", help="append engine counters to text output"
     )
     p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable engine stats as JSON (replaces text output)",
+    )
+    p.add_argument(
         "--kernel",
         choices=("auto", "scalar", "batch"),
         default="auto",
@@ -705,6 +833,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, help="write the mapped netlist as BLIF")
     p.add_argument(
         "--stats", action="store_true", help="print mapping work counters"
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable mapping stats as JSON (replaces text output)",
     )
     p.add_argument(
         "--explain",
@@ -862,6 +995,85 @@ def build_parser() -> argparse.ArgumentParser:
     )
     q.add_argument("file")
     q.set_defaults(func=cmd_obs_report)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the matching daemon",
+        description=(
+            "Long-running matching service: newline-delimited JSON over "
+            "TCP (plus an HTTP/1.1 shim on the same port) fronting the "
+            "batch classification engine.  Concurrent requests coalesce "
+            "through a micro-batching window into kernel-batched "
+            "classify() calls; bounded queues answer 'overloaded' under "
+            "saturation; SIGTERM drains, flushes the store, and exits."
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7433, help="0 = ephemeral")
+    p.add_argument(
+        "--store",
+        default=None,
+        help="persistent class store directory (warm-start + write-back)",
+    )
+    p.add_argument("--shards", type=int, default=64, help="shard count (new stores)")
+    p.add_argument(
+        "--max-batch", type=int, default=128, dest="max_batch",
+        help="tables per engine batch (window dispatches when full)",
+    )
+    p.add_argument(
+        "--max-wait-ms", type=float, default=2.0, dest="max_wait_ms",
+        help="micro-batching window in milliseconds",
+    )
+    p.add_argument(
+        "--max-pending", type=int, default=1024, dest="max_pending",
+        help="admitted-table bound; beyond it requests get 'overloaded'",
+    )
+    p.add_argument(
+        "--flush-interval", type=float, default=2.0, dest="flush_interval",
+        help="background store write-back period, seconds",
+    )
+    p.add_argument(
+        "--compact-every", type=int, default=0, dest="compact_every",
+        help="compact the store after N flushing cycles (0 = never)",
+    )
+    p.add_argument(
+        "--no-batching",
+        action="store_true",
+        help="disable coalescing (one engine call per table; the load "
+        "harness's comparison arm)",
+    )
+    p.add_argument(
+        "--cache-size", type=int, default=1 << 16, dest="cache_size",
+        help="canonical-key LRU cache bound",
+    )
+    p.add_argument(
+        "--kernel", choices=("auto", "scalar", "batch"), default="auto",
+        help="classification pre-key kernel",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="talk to a running matching daemon",
+        description=(
+            "One request against a grm-match serve daemon; the result "
+            "prints as JSON.  classify/lookup take one FILE (every "
+            "circuit output is resolved), match takes two single-output "
+            "FILEs, ping/stats/shutdown take none."
+        ),
+    )
+    p.add_argument(
+        "op", choices=("ping", "classify", "match", "lookup", "stats", "shutdown")
+    )
+    p.add_argument("files", nargs="*", metavar="FILE")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument(
+        "--witness",
+        action="store_true",
+        help="ask match for the concrete mapping transform",
+    )
+    p.set_defaults(func=cmd_client)
 
     return parser
 

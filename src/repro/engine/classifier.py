@@ -611,10 +611,16 @@ class ClassificationEngine:
         self,
         options: Optional[EngineOptions] = None,
         store: Optional["ClassStore"] = None,
+        auto_flush: bool = True,
     ):
         self.options = options or EngineOptions()
         self.cache = CanonicalKeyCache(self.options.cache_size)
         self.store = store
+        self.auto_flush = auto_flush
+        """Flush the store at the end of every batch (the one-shot CLI
+        default).  A long-running server sets this False and flushes in
+        a background task so disk writes stay off the request path;
+        write-backs still buffer in the store immediately."""
 
     def classify(self, functions: Iterable[TruthTable]) -> EngineResult:
         """Classify a batch; equivalent inputs share a class key, and the
@@ -713,7 +719,8 @@ class ClassificationEngine:
                     d_n, d_canon, rep_bits, witness, meta={"source": "engine"}
                 ):
                     metrics.inc("store_new_classes")
-            self.store.flush()
+            if self.auto_flush:
+                self.store.flush()
 
         # Stage 4: deterministic merge back to input positions.
         t0 = time.perf_counter()

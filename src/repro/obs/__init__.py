@@ -23,6 +23,7 @@ from repro.obs.render import (
     render_metrics,
     render_profile,
     render_trace_tree,
+    stats_json,
 )
 from repro.obs.trace import (
     NULL_TRACER,
@@ -59,4 +60,5 @@ __all__ = [
     "render_profile",
     "render_match_explanation",
     "render_map_accounting",
+    "stats_json",
 ]

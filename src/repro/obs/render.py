@@ -20,7 +20,41 @@ __all__ = [
     "render_metrics",
     "render_profile",
     "render_match_explanation",
+    "stats_json",
 ]
+
+
+def stats_json(payload: Any) -> str:
+    """Canonical machine-readable stats serialization.
+
+    The one helper behind every ``--stats --json`` surface (``classify``,
+    ``map``, the serving stats op, the load harness): dataclasses are
+    rendered via their ``as_dict`` when they define one (``EngineStats``
+    keeps its field order contract) or ``dataclasses.asdict`` otherwise,
+    nested containers recurse, and the output is deterministic
+    (``sort_keys``) so CI can diff runs textually.
+    """
+    import dataclasses
+    import json
+
+    def convert(obj: Any) -> Any:
+        as_dict = getattr(obj, "as_dict", None)
+        if callable(as_dict):
+            return convert(as_dict())
+        if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            return {
+                f.name: convert(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            }
+        if isinstance(obj, Mapping):
+            return {str(k): convert(v) for k, v in obj.items()}
+        if isinstance(obj, (list, tuple)):
+            return [convert(v) for v in obj]
+        if isinstance(obj, (str, int, float, bool)) or obj is None:
+            return obj
+        return str(obj)
+
+    return json.dumps(convert(payload), indent=2, sort_keys=True)
 
 
 def _fmt_duration(us: float) -> str:

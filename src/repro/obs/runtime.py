@@ -37,33 +37,69 @@ from repro.obs.trace import (
     Tracer,
 )
 
-__all__ = ["enabled", "registry", "tracer", "enable", "disable", "capture"]
+__all__ = [
+    "enabled",
+    "registry",
+    "tracer",
+    "metrics_path",
+    "enable",
+    "flush",
+    "disable",
+    "capture",
+]
 
 enabled: bool = False
 registry: MetricsRegistry = MetricsRegistry()
 tracer: Tracer = NULL_TRACER
+metrics_path = None  # registered dump target for flush()/disable()
 
 
 def enable(
     trace: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    dump_metrics_to=None,
 ) -> None:
-    """Turn observability on, optionally swapping the tracer/registry."""
-    global enabled, registry, tracer
+    """Turn observability on, optionally swapping the tracer/registry.
+
+    ``dump_metrics_to`` registers a JSON path the registry snapshot is
+    written to on every :func:`flush` (and on :func:`disable`), so a
+    long-running process can persist counters without plumbing the
+    path to each shutdown site.
+    """
+    global enabled, registry, tracer, metrics_path
     if metrics is not None:
         registry = metrics
     if trace is not None:
         tracer = trace
+    if dump_metrics_to is not None:
+        metrics_path = dump_metrics_to
     enabled = True
+
+
+def flush() -> None:
+    """Persist what can be persisted without turning observability off.
+
+    Flushes every tracer sink (the JSONL file sink's buffer reaches
+    disk) and, when a dump path was registered via ``enable``, writes
+    the current metrics snapshot there.  Safe to call repeatedly; the
+    drain step of graceful server shutdown calls this so spans and
+    counters recorded just before SIGTERM are never lost.
+    """
+    if tracer is not NULL_TRACER:
+        tracer.flush()
+    if metrics_path is not None:
+        registry.dump_json(metrics_path)
 
 
 def disable() -> None:
     """Back to the near-zero-cost default state (tracer = no-op)."""
-    global enabled, tracer
+    global enabled, tracer, metrics_path
+    flush()
     enabled = False
     if tracer is not NULL_TRACER:
         tracer.close()
     tracer = NULL_TRACER
+    metrics_path = None
 
 
 @contextmanager
@@ -76,12 +112,13 @@ def capture(
     state on exit — the building block of ``match --explain`` and the
     obs test suite.
     """
-    global enabled, registry, tracer
-    prev = (enabled, registry, tracer)
+    global enabled, registry, tracer, metrics_path
+    prev = (enabled, registry, tracer, metrics_path)
     ring = RingBufferSink(ring_capacity)
     fresh = MetricsRegistry()
     try:
         enable(trace=Tracer([ring], level=level), metrics=fresh)
+        metrics_path = None  # scoped state never dumps to an outer path
         yield fresh, ring
     finally:
-        enabled, registry, tracer = prev
+        enabled, registry, tracer, metrics_path = prev

@@ -227,6 +227,18 @@ class Tracer:
         for sink in self.sinks:
             sink.emit(record)
 
+    def flush(self) -> None:
+        """Push buffered records through to every sink that can flush.
+
+        The durability half of graceful shutdown: a serving process
+        calls this while draining so spans recorded just before SIGTERM
+        reach disk even if the process is killed before :meth:`close`.
+        """
+        for sink in self.sinks:
+            flush = getattr(sink, "flush", None)
+            if flush is not None:
+                flush()
+
     def close(self) -> None:
         for sink in self.sinks:
             close = getattr(sink, "close", None)

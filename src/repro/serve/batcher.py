@@ -1,0 +1,205 @@
+"""The micro-batching window that coalesces requests into engine batches.
+
+Concurrent ``classify``/``match``/``lookup`` traffic arrives one
+function at a time, but the engine's entire advantage — exact dedup,
+kernel-batched pre-keys, membership probes against a shared ``known``
+set — only materializes over *batches*.  The :class:`MicroBatcher`
+bridges the two: submitted tables park in a per-support-width queue
+for at most ``max_wait`` seconds (or until ``max_batch`` of them
+collect, whichever is first) and leave as one
+:meth:`~repro.engine.ClassificationEngine.classify` call.
+
+Three properties the server leans on:
+
+* **Bounded.**  Admission is checked against ``max_pending`` *before*
+  a table enters a queue; an overflowing submit raises
+  :class:`OverloadedError` immediately (the server turns that into a
+  429-style ``overloaded`` reply).  Memory is bounded by
+  ``max_pending`` tables no matter what clients do.
+* **Off-loop classification.**  The engine is CPU-bound pure Python,
+  so batches run on a single dedicated executor thread; the event
+  loop keeps accepting, parsing, and queueing while a batch computes.
+  One thread (not a pool) also serializes every engine/store touch,
+  so no lock discipline leaks out of this module.
+* **Deterministic admission accounting.**  ``pending`` counts tables
+  from admission until their future resolves, so drain can wait for
+  exactly the work it admitted.
+
+Batching disabled (``max_batch=1`` / ``max_wait=0``) degenerates to
+one engine call per table through the very same code path — the
+benchmark's on/off comparison toggles numbers, not code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.boolfunc.truthtable import TruthTable
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.classifier import ClassificationEngine, ClassKey
+
+__all__ = ["MicroBatcher", "OverloadedError", "BATCH_FILL_BUCKETS"]
+
+BATCH_FILL_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+
+class OverloadedError(Exception):
+    """The bounded request queue is full; shed load instead of growing."""
+
+
+class _Slot:
+    """One admitted table awaiting its class key."""
+
+    __slots__ = ("table", "future")
+
+    def __init__(self, table: TruthTable, future: "asyncio.Future"):
+        self.table = table
+        self.future = future
+
+
+class MicroBatcher:
+    """Coalesce concurrent table submissions into engine batches."""
+
+    def __init__(
+        self,
+        engine: "ClassificationEngine",
+        max_batch: int = 128,
+        max_wait: float = 0.002,
+        max_pending: int = 1024,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        self.engine = engine
+        self.max_batch = max(1, max_batch)
+        self.max_wait = max(0.0, max_wait)
+        self.max_pending = max_pending
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="grm-serve-engine"
+        )
+        self._waiting: Dict[int, List[_Slot]] = {}
+        self._timers: Dict[int, asyncio.TimerHandle] = {}
+        self._tasks: set = set()
+        self._pending = 0
+        self._closed = False
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Tables admitted and not yet resolved (queued or classifying)."""
+        return self._pending
+
+    @property
+    def queued(self) -> int:
+        """Tables currently parked in a window (not yet dispatched)."""
+        return sum(len(slots) for slots in self._waiting.values())
+
+    # -- admission -------------------------------------------------------
+
+    async def submit(self, tables: Sequence[TruthTable]) -> List["ClassKey"]:
+        """Admit ``tables`` (all of one request) and await their class keys.
+
+        All-or-nothing: either every table is admitted or
+        :class:`OverloadedError` is raised and nothing was queued, so a
+        ``match`` request can never deadlock half-admitted.
+        """
+        if self._closed:
+            raise OverloadedError("batcher is closed")
+        if not tables:
+            return []
+        if self._pending + len(tables) > self.max_pending:
+            self.metrics.counter("serve.overloaded").inc()
+            raise OverloadedError(
+                f"{self._pending} tables pending (bound {self.max_pending})"
+            )
+        loop = asyncio.get_running_loop()
+        self._pending += len(tables)
+        futures: List[asyncio.Future] = []
+        touched = set()
+        for table in tables:
+            future = loop.create_future()
+            futures.append(future)
+            self._waiting.setdefault(table.n, []).append(_Slot(table, future))
+            touched.add(table.n)
+        self.metrics.gauge("serve.queue_depth").set(self.queued)
+        for n in touched:
+            if len(self._waiting.get(n, ())) >= self.max_batch or self.max_wait <= 0.0:
+                self._dispatch(n)
+            elif n not in self._timers:
+                self._timers[n] = loop.call_later(self.max_wait, self._dispatch, n)
+        try:
+            return list(await asyncio.gather(*futures))
+        finally:
+            self._pending -= len(tables)
+
+    # -- dispatch --------------------------------------------------------
+
+    def _dispatch(self, n: int) -> None:
+        """Close the window for width ``n`` and start its batch task."""
+        timer = self._timers.pop(n, None)
+        if timer is not None:
+            timer.cancel()
+        slots = self._waiting.pop(n, None)
+        if not slots:
+            return
+        self.metrics.gauge("serve.queue_depth").set(self.queued)
+        task = asyncio.get_running_loop().create_task(self._run_batches(slots))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run_batches(self, slots: List[_Slot]) -> None:
+        loop = asyncio.get_running_loop()
+        for start in range(0, len(slots), self.max_batch):
+            chunk = slots[start : start + self.max_batch]
+            tables = [slot.table for slot in chunk]
+            self.metrics.counter("serve.batcher.batches").inc()
+            self.metrics.counter("serve.batcher.tables").inc(len(chunk))
+            self.metrics.histogram(
+                "serve.batch_fill", edges=BATCH_FILL_BUCKETS
+            ).observe(len(chunk))
+            t0 = time.perf_counter()
+            try:
+                result = await loop.run_in_executor(
+                    self.executor, self.engine.classify, tables
+                )
+            except Exception as exc:  # engine failure fails the chunk, not the server
+                for slot in chunk:
+                    if not slot.future.done():
+                        slot.future.set_exception(exc)
+                continue
+            self.metrics.counter("serve.batcher.classify_seconds").inc(
+                time.perf_counter() - t0
+            )
+            keys: Dict[int, "ClassKey"] = {}
+            for key, idxs in result.members.items():
+                for i in idxs:
+                    keys[i] = key
+            for i, slot in enumerate(chunk):
+                if not slot.future.done():
+                    slot.future.set_result(keys[i])
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Dispatch every parked table now and wait for all batches.
+
+        The shutdown half of the window: after ``drain`` returns, every
+        admitted table's future is resolved (with a key or an error)
+        and no batch task is running.
+        """
+        for n in list(self._waiting):
+            self._dispatch(n)
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    def close(self) -> None:
+        """Reject further submits and release the engine thread."""
+        self._closed = True
+        self.executor.shutdown(wait=True)

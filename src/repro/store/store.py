@@ -188,6 +188,11 @@ class ClassStore:
             loaded.dirty += 1
             return True
 
+    def dirty_count(self) -> int:
+        """Buffered appends not yet on disk (drives background flushers)."""
+        with self._lock:
+            return sum(s.dirty for s in self._shards.values())
+
     def flush(self) -> int:
         """Write buffered appends to disk; returns flushed record count."""
         flushed = 0

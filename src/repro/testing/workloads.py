@@ -1,0 +1,119 @@
+"""Seeded workload generators shared by benchmarks, the load harness, and CI.
+
+The classify benchmark, the serving load harness (``bench_serve.py``),
+and the ``serve-smoke`` CI job all need the *same* heavy-traffic
+distribution — a hot set of repeated npn classes plus a cold random
+tail — so the numbers they report describe one workload instead of
+three drifting copies.  Everything here is pure and deterministic: the
+same ``(seed, parameters)`` reproduce the same table sequence no matter
+which harness replays it.
+
+Two shapes:
+
+* :func:`make_repeated_batch` — the historical ``repeated_classes``
+  batch of ``BENCH_classify.json``: half exact repeats of a fixed pool,
+  half fresh random npn transforms of pool members.  Byte-compatible
+  with the generator that used to live inline in
+  ``benchmarks/bench_classify.py``.
+* :func:`make_traffic_mix` — the serving mix: each request is drawn hot
+  (a pool class, possibly re-disguised by a random transform) with
+  probability ``hot_fraction``, else cold (a uniformly random table).
+  Requests are tagged ``"hot"`` / ``"cold"`` so harnesses can report
+  per-tier latency.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.boolfunc.transform import NpnTransform
+from repro.boolfunc.truthtable import TruthTable
+
+__all__ = [
+    "DEFAULT_POOL_SIZE",
+    "DEFAULT_N_VARS",
+    "make_pool",
+    "make_repeated_batch",
+    "make_random_batch",
+    "make_traffic_mix",
+]
+
+DEFAULT_POOL_SIZE = 64
+"""Hot-pool size used by ``BENCH_classify.json`` since PR 2."""
+
+DEFAULT_N_VARS = 5
+"""Support width of the standard benchmark workloads."""
+
+
+def make_pool(
+    rng: random.Random,
+    n: int = DEFAULT_N_VARS,
+    pool_size: int = DEFAULT_POOL_SIZE,
+) -> List[TruthTable]:
+    """The hot set: ``pool_size`` seeded random ``n``-variable tables."""
+    return [TruthTable.random(n, rng) for _ in range(pool_size)]
+
+
+def make_repeated_batch(
+    size: int,
+    rng: random.Random,
+    n: int = DEFAULT_N_VARS,
+    pool_size: int = DEFAULT_POOL_SIZE,
+    pool: Optional[Sequence[TruthTable]] = None,
+) -> List[TruthTable]:
+    """Half exact repeats of a hot pool, half fresh transforms.
+
+    With the default parameters and a fresh ``rng`` this reproduces the
+    ``repeated_classes`` batch of ``bench_classify.py`` exactly (the
+    pool is drawn from ``rng`` first, then one choice + coin flip —
+    and possibly one transform — per batch element).
+    """
+    if pool is None:
+        pool = make_pool(rng, n, pool_size)
+    batch = []
+    for _ in range(size):
+        f = rng.choice(pool)
+        if rng.random() < 0.5:
+            batch.append(NpnTransform.random(n, rng).apply(f))
+        else:
+            batch.append(f)
+    return batch
+
+
+def make_random_batch(
+    size: int, rng: random.Random, n: int = DEFAULT_N_VARS
+) -> List[TruthTable]:
+    """The cold tail alone: ``size`` uniformly random tables."""
+    return [TruthTable.random(n, rng) for _ in range(size)]
+
+
+def make_traffic_mix(
+    size: int,
+    rng: random.Random,
+    hot_fraction: float = 0.8,
+    n: int = DEFAULT_N_VARS,
+    pool_size: int = DEFAULT_POOL_SIZE,
+    pool: Optional[Sequence[TruthTable]] = None,
+) -> List[Tuple[str, TruthTable]]:
+    """The serving mix: hot repeated classes plus a cold random tail.
+
+    Each element is ``("hot"|"cold", table)``.  A hot request repeats a
+    pool member, half the time disguised by a fresh random npn transform
+    (same coin as :func:`make_repeated_batch`); a cold request is a
+    uniformly random table that almost surely opens a new class.
+    """
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError(f"hot_fraction must be in [0, 1], got {hot_fraction}")
+    if pool is None:
+        pool = make_pool(rng, n, pool_size)
+    mix: List[Tuple[str, TruthTable]] = []
+    for _ in range(size):
+        if rng.random() < hot_fraction:
+            f = rng.choice(pool)
+            if rng.random() < 0.5:
+                f = NpnTransform.random(n, rng).apply(f)
+            mix.append(("hot", f))
+        else:
+            mix.append(("cold", TruthTable.random(n, rng)))
+    return mix

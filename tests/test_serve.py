@@ -1,0 +1,407 @@
+"""Serving-layer tests: protocol, micro-batching, backpressure, drain.
+
+Each test boots a real :class:`MatchServer` on an ephemeral port via
+:class:`ServerThread` and talks to it over actual sockets — the
+coalescing, overload, and shutdown claims are asserted against the
+server's own obs counters, not against mocks.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.boolfunc.transform import NpnTransform
+from repro.boolfunc.truthtable import TruthTable
+from repro.engine import ClassificationEngine
+from repro.serve import (
+    ERR_BAD_REQUEST,
+    ERR_OVERLOADED,
+    ERR_PAYLOAD_TOO_LARGE,
+    MatchServer,
+    ServeConfig,
+    ServerThread,
+    ServerError,
+)
+from repro.serve.client import MatchClient
+from repro.serve.protocol import (
+    ProtocolError,
+    decode_request,
+    encode_line,
+    parse_table,
+)
+from repro.store.store import ClassStore
+
+
+def serve(config: ServeConfig, **kwargs) -> ServerThread:
+    return ServerThread(MatchServer(config=config, **kwargs)).start()
+
+
+def raw_roundtrip(port: int, payload: bytes) -> dict:
+    """One raw line out, one response line back (socket kept open)."""
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        sock.sendall(payload)
+        reader = sock.makefile("rb")
+        return json.loads(reader.readline())
+
+
+# ----------------------------------------------------------------------
+# Protocol unit tests (no server)
+# ----------------------------------------------------------------------
+
+class TestProtocol:
+    def test_parse_table_hex_and_int_agree(self):
+        a = parse_table({"n": 3, "bits": 0x96})
+        b = parse_table({"n": 3, "bits": "0x96"})
+        assert a.bits == b.bits == 0x96 and a.n == 3
+
+    @pytest.mark.parametrize(
+        "obj",
+        [
+            {"n": 3},  # bits missing
+            {"n": "3", "bits": 1},  # n not an int
+            {"n": True, "bits": 1},  # bool masquerading as int
+            {"n": 99, "bits": 1},  # absurd support width
+            {"n": 2, "bits": 16},  # bits out of range for n=2
+            {"n": 2, "bits": True},  # bool bits
+            {"n": 2, "bits": "zz"},  # non-hex string
+            "not an object",
+        ],
+    )
+    def test_parse_table_rejects(self, obj):
+        with pytest.raises(ProtocolError) as exc:
+            parse_table(obj)
+        assert exc.value.code == ERR_BAD_REQUEST
+
+    def test_decode_request_rejects_unknown_op(self):
+        with pytest.raises(ProtocolError):
+            decode_request(encode_line({"op": "frobnicate"}))
+
+    def test_decode_request_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode_request(b"[1, 2, 3]\n")
+
+
+# ----------------------------------------------------------------------
+# Round-trips over real sockets
+# ----------------------------------------------------------------------
+
+class TestRoundTrip:
+    def test_classify_matches_direct_engine(self, rng):
+        tables = [TruthTable.random(4, rng) for _ in range(12)]
+        direct = ClassificationEngine().classify(tables)
+        expected = {}
+        for key, idxs in direct.members.items():
+            for i in idxs:
+                expected[i] = key
+        with serve(ServeConfig()) as st, MatchClient(port=st.port) as client:
+            for i, f in enumerate(tables):
+                got = client.classify(f)
+                key = expected[i]
+                assert got == {
+                    "n": key.n,
+                    "class": f"0x{key.key:x}",
+                    "quarantined": key.quarantined,
+                }
+
+    def test_match_with_witness(self, rng):
+        f = TruthTable.random(4, rng)
+        t = NpnTransform.random(4, rng)
+        g = t.apply(f)
+        with serve(ServeConfig()) as st, MatchClient(port=st.port) as client:
+            result = client.match(f, g, witness=True)
+            assert result["equivalent"]
+            w = result["witness"]
+            t_ab = NpnTransform(tuple(w["perm"]), w["input_neg"], w["output_neg"])
+            assert t_ab.apply(f).bits == g.bits
+            # and a genuinely different pair does not match
+            other = TruthTable(4, f.bits ^ 0b0110)
+            if ClassificationEngine().classify([f, other]).num_classes == 2:
+                assert not client.match(f, other)["equivalent"]
+
+    def test_match_rejects_width_mismatch(self, rng):
+        with serve(ServeConfig()) as st, MatchClient(port=st.port) as client:
+            result = client.match(TruthTable.random(3, rng), TruthTable.random(4, rng))
+            assert not result["equivalent"]
+            assert "differ" in result["reason"]
+
+    def test_lookup_against_store(self, rng, tmp_path):
+        store = ClassStore(tmp_path / "store", create=True)
+        f = TruthTable.random(4, rng)
+        ClassificationEngine(store=store).classify([f])
+        store.flush()
+        with serve(ServeConfig(), store=store) as st, MatchClient(
+            port=st.port
+        ) as client:
+            hit = client.lookup(f)
+            assert hit["hit"]
+            w = hit["witness"]
+            t = NpnTransform(tuple(w["perm"]), w["input_neg"], w["output_neg"])
+            assert t.apply(f).bits == int(hit["class"], 16)
+
+    def test_lookup_without_store_is_bad_request(self, rng):
+        with serve(ServeConfig()) as st, MatchClient(port=st.port) as client:
+            with pytest.raises(ServerError) as exc:
+                client.lookup(TruthTable.random(3, rng))
+            assert exc.value.code == ERR_BAD_REQUEST
+
+    def test_pipelined_requests_on_one_connection(self, rng):
+        with serve(ServeConfig()) as st, MatchClient(port=st.port) as client:
+            for _ in range(5):
+                assert client.ping()["pong"]
+
+
+# ----------------------------------------------------------------------
+# Malformed and oversized input
+# ----------------------------------------------------------------------
+
+class TestRejection:
+    def test_malformed_json_answers_bad_request(self):
+        with serve(ServeConfig()) as st:
+            response = raw_roundtrip(st.port, b'{"op": nope}\n')
+            assert response["ok"] is False
+            assert response["error"] == ERR_BAD_REQUEST
+
+    def test_connection_survives_malformed_line(self):
+        with serve(ServeConfig()) as st:
+            with socket.create_connection(("127.0.0.1", st.port), timeout=10) as sock:
+                reader = sock.makefile("rb")
+                sock.sendall(b"this is not json\n")
+                bad = json.loads(reader.readline())
+                assert bad["error"] == ERR_BAD_REQUEST
+                sock.sendall(encode_line({"op": "ping", "id": 2}))
+                good = json.loads(reader.readline())
+                assert good["ok"] and good["id"] == 2
+
+    def test_oversized_payload_rejected_and_closed(self):
+        with serve(ServeConfig(max_line_bytes=1024)) as st:
+            with socket.create_connection(("127.0.0.1", st.port), timeout=10) as sock:
+                sock.sendall(b'{"op": "classify", "pad": "' + b"x" * 4096 + b'"}\n')
+                reader = sock.makefile("rb")
+                response = json.loads(reader.readline())
+                assert response["ok"] is False
+                assert response["error"] == ERR_PAYLOAD_TOO_LARGE
+                assert reader.readline() == b""  # server closed the conn
+
+    def test_error_reply_leaves_connection_usable(self, rng):
+        # A rejected op (store-less lookup) answers with an error and the
+        # same connection keeps serving — errors never kill the session.
+        with serve(ServeConfig()) as st:
+            with socket.create_connection(("127.0.0.1", st.port), timeout=10) as sock:
+                reader = sock.makefile("rb")
+                sock.sendall(encode_line({"op": "lookup", "n": 3, "bits": 1, "id": 1}))
+                first = json.loads(reader.readline())
+                assert first["ok"] is False
+                sock.sendall(encode_line({"op": "ping", "id": 2}))
+                assert json.loads(reader.readline())["ok"]
+
+
+# ----------------------------------------------------------------------
+# Coalescing (asserted via obs counters)
+# ----------------------------------------------------------------------
+
+class TestCoalescing:
+    def test_concurrent_requests_share_batches(self, rng):
+        tables = [TruthTable.random(4, rng) for _ in range(12)]
+        config = ServeConfig(max_batch=64, max_wait=0.25)
+        with serve(config) as st:
+            results = {}
+            barrier = threading.Barrier(len(tables))
+
+            def worker(i: int, f: TruthTable) -> None:
+                with MatchClient(port=st.port) as client:
+                    barrier.wait()
+                    results[i] = client.classify(f)
+
+            threads = [
+                threading.Thread(target=worker, args=(i, f))
+                for i, f in enumerate(tables)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            with MatchClient(port=st.port) as client:
+                stats = client.stats()
+            batching = stats["batching"]
+            assert batching["tables"] == len(tables)
+            # 12 concurrent submissions within one 250ms window must
+            # coalesce: strictly fewer engine batches than tables.
+            assert batching["batches"] < len(tables)
+            assert batching["mean_fill"] > 1.0
+            # and the answers agree with a direct engine run
+            direct = ClassificationEngine().classify(tables)
+            for key, idxs in direct.members.items():
+                for i in idxs:
+                    assert results[i]["class"] == f"0x{key.key:x}"
+
+    def test_batching_off_still_correct(self, rng):
+        tables = [TruthTable.random(4, rng) for _ in range(6)]
+        with serve(ServeConfig(batching=False)) as st:
+            with MatchClient(port=st.port) as client:
+                got = [client.classify(f) for f in tables]
+                stats = client.stats()
+        # one engine batch per table: the same code path, window size 1
+        assert stats["batching"]["batches"] == len(tables)
+        assert stats["batching"]["mean_fill"] == 1.0
+        direct = ClassificationEngine().classify(tables)
+        for key, idxs in direct.members.items():
+            for i in idxs:
+                assert got[i]["class"] == f"0x{key.key:x}"
+
+
+# ----------------------------------------------------------------------
+# Backpressure
+# ----------------------------------------------------------------------
+
+class TestBackpressure:
+    def test_overloaded_reply_under_saturation(self, rng):
+        # A long window and a tiny pending bound: the first two requests
+        # park in the window, the third must be shed with `overloaded`.
+        config = ServeConfig(max_batch=64, max_wait=1.0, max_pending=2)
+        with serve(config) as st:
+            parked = [
+                MatchClient(port=st.port).connect(),
+                MatchClient(port=st.port).connect(),
+            ]
+            try:
+                for i, client in enumerate(parked):
+                    client._sock.sendall(
+                        encode_line(
+                            {
+                                "op": "classify",
+                                "n": 4,
+                                "bits": TruthTable.random(4, rng).bits,
+                                "id": i,
+                            }
+                        )
+                    )
+                # wait until both tables are admitted into the window
+                with MatchClient(port=st.port) as probe:
+                    for _ in range(100):
+                        if probe.stats()["pending"] >= 2:
+                            break
+                    else:
+                        pytest.fail("requests never reached the window")
+                    with pytest.raises(ServerError) as exc:
+                        probe.classify(TruthTable.random(4, rng))
+                    assert exc.value.code == ERR_OVERLOADED
+                    # the parked requests still complete normally
+                    for client in parked:
+                        response = json.loads(client._recv_file.readline())
+                        assert response["ok"], response
+                    counters = probe.stats()["counters"]
+                    assert counters["serve.overloaded"] >= 1
+            finally:
+                for client in parked:
+                    client.close()
+
+
+# ----------------------------------------------------------------------
+# Drain-and-flush shutdown
+# ----------------------------------------------------------------------
+
+class TestShutdown:
+    def test_drain_flushes_store_and_reopen_verifies(self, rng, tmp_path):
+        path = tmp_path / "store"
+        store = ClassStore(path, create=True)
+        tables = [TruthTable.random(4, rng) for _ in range(8)]
+        # flush_interval far beyond the test: only shutdown may flush
+        config = ServeConfig(flush_interval=3600.0)
+        st = serve(config, store=store)
+        try:
+            with MatchClient(port=st.port) as client:
+                served = [client.classify(f) for f in tables]
+        finally:
+            st.stop()
+        store.close()
+        reopened = ClassStore(path)
+        assert reopened.verify() > 0  # checksums + witnesses intact
+        from repro.engine import store_lookup
+
+        for f, got in zip(tables, served):
+            resolved = store_lookup(reopened, f)
+            assert resolved is not None, "shutdown flush lost a class"
+            assert f"0x{resolved[0]:x}" == got["class"]
+
+    def test_shutdown_op_drains_and_stops(self, rng):
+        st = serve(ServeConfig())
+        port = st.port
+        with MatchClient(port=port) as client:
+            client.classify(TruthTable.random(3, rng))
+            assert client.shutdown()["draining"]
+        st._thread.join(timeout=10)
+        assert not st._thread.is_alive()
+        with pytest.raises(OSError):
+            socket.create_connection(("127.0.0.1", port), timeout=1)
+
+    def test_stop_is_idempotent(self):
+        st = serve(ServeConfig())
+        st.stop()
+        st.stop()
+
+
+# ----------------------------------------------------------------------
+# HTTP/1.1 shim
+# ----------------------------------------------------------------------
+
+def http_exchange(port: int, raw: bytes):
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        sock.sendall(raw)
+        chunks = b""
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                break
+            chunks += data
+    head, _, body = chunks.partition(b"\r\n\r\n")
+    status = head.decode("latin-1").splitlines()[0]
+    return status, json.loads(body) if body else None
+
+
+class TestHttpShim:
+    def test_get_healthz(self):
+        with serve(ServeConfig()) as st:
+            status, body = http_exchange(
+                st.port, b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"
+            )
+        assert status == "HTTP/1.1 200 OK"
+        assert body["result"]["pong"]
+
+    def test_post_classify(self, rng):
+        f = TruthTable.random(3, rng)
+        payload = json.dumps({"op": "classify", "n": 3, "bits": f.bits}).encode()
+        request = (
+            b"POST / HTTP/1.1\r\nHost: t\r\nContent-Length: "
+            + str(len(payload)).encode()
+            + b"\r\n\r\n"
+            + payload
+        )
+        with serve(ServeConfig()) as st:
+            status, body = http_exchange(st.port, request)
+            direct = ClassificationEngine().classify([f])
+            (key,) = direct.members
+        assert status == "HTTP/1.1 200 OK"
+        assert body["result"]["class"] == f"0x{key.key:x}"
+
+    def test_http_error_statuses(self):
+        with serve(ServeConfig()) as st:
+            status, body = http_exchange(
+                st.port,
+                b"POST / HTTP/1.1\r\nHost: t\r\nContent-Length: 9\r\n\r\nnot json!",
+            )
+            assert status == "HTTP/1.1 400 Bad Request"
+            assert body["error"] == ERR_BAD_REQUEST
+            status, _ = http_exchange(
+                st.port, b"GET /nothing HTTP/1.1\r\nHost: t\r\n\r\n"
+            )
+            assert status == "HTTP/1.1 400 Bad Request"
+            status, body = http_exchange(
+                st.port,
+                b"POST / HTTP/1.1\r\nHost: t\r\nContent-Length: 999999999\r\n\r\n",
+            )
+            assert status == "HTTP/1.1 413 Payload Too Large"
