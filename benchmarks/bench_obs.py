@@ -19,6 +19,12 @@ Three measurements:
   enabled run's own registry) times the measured per-site disabled
   cost, as a percentage of the disabled wall time.  The CI guardrail
   asserts this stays under 5%.
+* ``window`` — per-call cost of the sliding-window aggregator the
+  serving stats ride on (counter inc, histogram observe, merged
+  quantile reads) — these run on the server's hot request path.
+* ``exposition`` — per-render cost of the Prometheus text exposition
+  over a serving-shaped registry (what one ``GET /metrics`` scrape
+  pays).
 
 Results are written to ``BENCH_obs.json`` (override with ``--out``),
 including the enabled run's full metrics snapshot.
@@ -42,7 +48,9 @@ from repro.grm.transform import fprm_coefficients
 from repro.obs import runtime as obs_runtime
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import scoped_timer, timed
+from repro.obs.render import render_prometheus
 from repro.obs.trace import NULL_TRACER, NullSink, TRACE_DETAIL, Tracer
+from repro.obs.window import SlidingWindow
 
 POOL_SIZE = 32
 N_VARS = 5
@@ -102,6 +110,81 @@ def bench_disabled_primitives(iters: int):
         "null_span_ns": per_call(lambda: NULL_TRACER.span("s")),
         "null_event_ns": per_call(lambda: NULL_TRACER.event("e")),
         "enabled_branch_ns": per_call(lambda: obs_runtime.enabled and None),
+    }
+
+
+# ----------------------------------------------------------------------
+# Sliding-window aggregator and exposition rendering
+# ----------------------------------------------------------------------
+
+LATENCY_EDGES = (
+    0.0005, 0.001, 0.002, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0, 5.0,
+)
+
+
+def bench_window(iters: int, rng: random.Random):
+    """Per-call cost (ns) of the windowed instruments on the hot path."""
+    window = SlidingWindow(window_seconds=60.0, buckets=12)
+    counter = window.counter("serve.requests")
+    hist = window.histogram("serve.request_seconds", edges=LATENCY_EDGES, op="match")
+    values = [rng.uniform(0.0001, 0.5) for _ in range(256)]
+
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        counter.inc()
+    inc_ns = (time.perf_counter() - t0) / iters * 1e9
+
+    t0 = time.perf_counter()
+    for i in range(iters):
+        hist.observe(values[i & 255])
+    observe_ns = (time.perf_counter() - t0) / iters * 1e9
+
+    reads = max(1, iters // 100)
+    t0 = time.perf_counter()
+    for _ in range(reads):
+        hist.quantile(0.99)
+    quantile_ns = (time.perf_counter() - t0) / reads * 1e9
+
+    t0 = time.perf_counter()
+    for _ in range(reads):
+        counter.rate()
+    rate_ns = (time.perf_counter() - t0) / reads * 1e9
+
+    return {
+        "iters": iters,
+        "counter_inc_ns": inc_ns,
+        "histogram_observe_ns": observe_ns,
+        "quantile_read_ns": quantile_ns,
+        "rate_read_ns": rate_ns,
+    }
+
+
+def bench_exposition(rng: random.Random):
+    """Per-render cost of one /metrics scrape over a serving-shaped registry."""
+    registry = MetricsRegistry()
+    for op in ("ping", "classify", "match", "lookup", "stats"):
+        registry.counter("serve.requests", op=op).inc(rng.randrange(1, 10_000))
+        hist = registry.histogram("serve.request_seconds", edges=LATENCY_EDGES, op=op)
+        for _ in range(64):
+            hist.observe(rng.uniform(0.0001, 0.5))
+    for code in ("ok", "bad_request", "overloaded"):
+        registry.counter("serve.responses", code=code).inc(rng.randrange(1, 10_000))
+    for tier in ("weights", "influence", "sensitivity", "grm", "equivalent"):
+        registry.counter("serve.match_tier", tier=tier).inc(rng.randrange(1, 1000))
+    registry.gauge("serve.queue_depth").set(17)
+
+    snap = registry.snapshot()
+    renders = 200
+    t0 = time.perf_counter()
+    for _ in range(renders):
+        text = render_prometheus(registry.snapshot())
+    render_us = (time.perf_counter() - t0) / renders * 1e6
+    return {
+        "renders": renders,
+        "families": len({e["name"] for kind in ("counters", "gauges", "histograms")
+                         for e in snap[kind]}),
+        "output_bytes": len(text.encode()),
+        "render_us": render_us,
     }
 
 
@@ -175,6 +258,23 @@ def main(argv=None) -> int:
         f"timed {prim['timed_decorator_ns']:.0f}, "
         f"null span {prim['null_span_ns']:.0f}, "
         f"null event {prim['null_event_ns']:.0f}"
+    )
+
+    # -- windowed instruments and /metrics rendering -----------------------
+    win = bench_window(iters // 2, rng)
+    report["window"] = win
+    print(
+        "window (ns/call): "
+        f"counter inc {win['counter_inc_ns']:.0f}, "
+        f"histogram observe {win['histogram_observe_ns']:.0f}, "
+        f"p99 read {win['quantile_read_ns']:.0f}, "
+        f"rate read {win['rate_read_ns']:.0f}"
+    )
+    expo = bench_exposition(rng)
+    report["exposition"] = expo
+    print(
+        f"exposition: {expo['families']} families, "
+        f"{expo['output_bytes']} bytes, {expo['render_us']:.0f}µs/render"
     )
 
     # -- classify: off / metrics / metrics+trace --------------------------

@@ -16,6 +16,7 @@ Subcommands::
     table1 [NAMES...]          run the paper's Table 1 experiment
     bench-info NAME            describe a built-in benchmark circuit
     obs report FILE            render a trace JSONL or metrics snapshot
+    obs top --port P           live terminal view of a serving daemon
     serve                      run the matching daemon (NDJSON/HTTP)
     client OP [FILES...]       talk to a running matching daemon
 
@@ -595,6 +596,50 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs_top(args: argparse.Namespace) -> int:
+    """Live terminal view of a serving daemon: poll /stats, render, repeat.
+
+    The read side of the serving telemetry: windowed request rate and
+    p50/p99, queue/batch state, per-tier match win rates — all derived
+    from the daemon's HTTP shim, no server-side support beyond ``GET
+    /stats``.  ``--count N`` renders N frames and exits (scriptable);
+    the default polls until interrupted.
+    """
+    import json
+    import urllib.error
+    import urllib.request
+
+    from repro.obs import render_top
+
+    url = f"http://{args.host}:{args.port}/stats"
+    frames = 0
+    while True:
+        try:
+            with urllib.request.urlopen(url, timeout=5.0) as resp:
+                payload = json.loads(resp.read())
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            print(f"error: cannot poll {url}: {exc}", file=sys.stderr)
+            return 1
+        if not payload.get("ok"):
+            print(
+                f"error: server replied {payload.get('error', 'internal')}: "
+                f"{payload.get('detail', '')}",
+                file=sys.stderr,
+            )
+            return 1
+        frame = render_top(payload.get("result", {}))
+        if not args.no_clear and sys.stdout.isatty():
+            print("\x1b[2J\x1b[H", end="")
+        print(frame, flush=True)
+        frames += 1
+        if args.count and frames >= args.count:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the matching daemon until SIGTERM/SIGINT (or a shutdown op)."""
     import asyncio
@@ -618,6 +663,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         flush_interval=args.flush_interval,
         compact_every=args.compact_every,
         batching=not args.no_batching,
+        flight_dir=args.flight_dir,
+        slow_request_ms=args.slow_request_ms,
     )
     metrics = obs_runtime.registry if obs_runtime.enabled else None
     server = MatchServer(engine=engine, config=config, metrics=metrics)
@@ -654,7 +701,9 @@ def cmd_client(args: argparse.Namespace) -> int:
             )
 
     try:
-        with MatchClient(host=args.host, port=args.port) as client:
+        with MatchClient(
+            host=args.host, port=args.port, trace_id=args.trace_id
+        ) as client:
             if args.op in ("ping", "stats", "shutdown"):
                 need_files(0)
                 print(stats_json(client.request({"op": args.op})))
@@ -995,6 +1044,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     q.add_argument("file")
     q.set_defaults(func=cmd_obs_report)
+    q = obssub.add_parser(
+        "top",
+        help="live terminal view of a serving daemon (polls GET /stats)",
+    )
+    q.add_argument("--host", default="127.0.0.1")
+    q.add_argument("--port", type=int, required=True)
+    q.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between frames",
+    )
+    q.add_argument(
+        "--count", type=int, default=0,
+        help="render N frames then exit (0 = until interrupted)",
+    )
+    q.add_argument(
+        "--no-clear", action="store_true", dest="no_clear",
+        help="append frames instead of clearing the screen",
+    )
+    q.set_defaults(func=cmd_obs_top)
 
     p = sub.add_parser(
         "serve",
@@ -1050,6 +1118,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel", choices=("auto", "scalar", "batch"), default="auto",
         help="classification pre-key kernel",
     )
+    p.add_argument(
+        "--flight-dir", default=None, dest="flight_dir",
+        help="directory for automatic flight-recorder dumps (slow "
+        "requests, overloaded/internal replies); SIGUSR2 always dumps",
+    )
+    p.add_argument(
+        "--slow-request-ms", type=float, default=250.0, dest="slow_request_ms",
+        help="latency threshold that triggers a flight dump (0 disables)",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -1072,6 +1149,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--witness",
         action="store_true",
         help="ask match for the concrete mapping transform",
+    )
+    p.add_argument(
+        "--trace-id", default=None, dest="trace_id",
+        help="stamp every request with this wire-level trace id",
     )
     p.set_defaults(func=cmd_client)
 

@@ -9,12 +9,14 @@ taxonomy of the matcher's prune reasons.
 """
 
 from repro.obs import runtime
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import (
     Counter,
     DEFAULT_TIME_BUCKETS,
     Gauge,
     Histogram,
     MetricsRegistry,
+    quantile_from_counts,
 )
 from repro.obs.profile import scoped_timer, timed
 from repro.obs.render import (
@@ -22,9 +24,12 @@ from repro.obs.render import (
     render_match_explanation,
     render_metrics,
     render_profile,
+    render_prometheus,
+    render_top,
     render_trace_tree,
     stats_json,
 )
+from repro.obs.window import SlidingWindow, WindowedCounter, WindowedHistogram
 from repro.obs.trace import (
     NULL_TRACER,
     JsonlSink,
@@ -44,6 +49,11 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_TIME_BUCKETS",
+    "quantile_from_counts",
+    "SlidingWindow",
+    "WindowedCounter",
+    "WindowedHistogram",
+    "FlightRecorder",
     "scoped_timer",
     "timed",
     "Tracer",
@@ -60,5 +70,7 @@ __all__ = [
     "render_profile",
     "render_match_explanation",
     "render_map_accounting",
+    "render_prometheus",
+    "render_top",
     "stats_json",
 ]

@@ -1,0 +1,133 @@
+"""The flight recorder: recent spans + request envelopes, dumped on trouble.
+
+A serving process cannot afford always-on JSONL tracing, but when a
+request goes slow or a reply comes back ``overloaded``/``internal`` the
+question is always "what was happening *just before*?".  The
+:class:`FlightRecorder` answers it the way an aircraft recorder does:
+it continuously keeps the last-N finished spans (its ``sink`` is a
+plain :class:`~repro.obs.trace.RingBufferSink` attached to the serving
+tracer) and the last-M request envelopes (op, id, trace_id, latency,
+response code), and on a trigger writes the whole ring to one JSONL
+file that :func:`~repro.obs.trace.load_trace` reads back verbatim.
+
+Triggers (wired in :mod:`repro.serve.server`):
+
+* a request slower than the configured threshold,
+* an ``overloaded`` or ``internal`` reply,
+* ``SIGUSR2`` (operator-initiated, always allowed).
+
+Automatic triggers are rate-limited (``min_interval`` seconds between
+dumps) so a saturation event produces one snapshot, not a dump storm.
+Memory is bounded by the two ring capacities no matter how long the
+process runs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.trace import RingBufferSink
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Bounded span + envelope rings with triggered JSONL dumps."""
+
+    def __init__(
+        self,
+        capacity: int = 2048,
+        envelope_capacity: int = 1024,
+        directory: Optional[Any] = None,
+        min_interval: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.sink = RingBufferSink(capacity)
+        self.directory = Path(directory) if directory is not None else None
+        self.min_interval = min_interval
+        self._clock = clock
+        self._envelopes: deque = deque(maxlen=envelope_capacity)
+        self._lock = threading.Lock()
+        self._last_dump: Optional[float] = None
+        self._dump_count = 0
+        self._seq = 0
+
+    # -- recording -------------------------------------------------------
+
+    def record_envelope(self, envelope: Dict[str, Any]) -> None:
+        """Keep one request envelope (already reduced to plain JSON-ables)."""
+        with self._lock:
+            self._envelopes.append(dict(envelope, kind="envelope"))
+
+    def spans(self) -> List[Dict[str, Any]]:
+        """The span records currently in the ring (oldest first)."""
+        return self.sink.records()
+
+    def envelopes(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._envelopes)
+
+    @property
+    def dump_count(self) -> int:
+        return self._dump_count
+
+    # -- dumping ---------------------------------------------------------
+
+    def should_dump(self) -> bool:
+        """Rate limit for *automatic* triggers (signal dumps skip this)."""
+        with self._lock:
+            last = self._last_dump
+        return last is None or (self._clock() - last) >= self.min_interval
+
+    def dump(
+        self,
+        reason: str,
+        path: Optional[Any] = None,
+        force: bool = False,
+    ) -> Optional[Path]:
+        """Write the rings as JSONL; returns the path (None if suppressed).
+
+        Automatic callers leave ``force`` False and get rate-limited;
+        the SIGUSR2 handler passes ``force=True``.  With no explicit
+        ``path`` the file lands in ``directory`` (or the system temp dir
+        when none was configured) as ``flight-<seq>-<reason>.jsonl``.
+        """
+        if not force and not self.should_dump():
+            return None
+        with self._lock:
+            self._last_dump = self._clock()
+            self._seq += 1
+            seq = self._seq
+            envelopes = list(self._envelopes)
+        spans = self.sink.records()
+        if path is None:
+            directory = self.directory
+            if directory is None:
+                import tempfile
+
+                directory = Path(tempfile.gettempdir())
+            directory.mkdir(parents=True, exist_ok=True)
+            safe_reason = "".join(
+                ch if ch.isalnum() or ch in "-_" else "-" for ch in reason
+            )
+            path = directory / f"flight-{seq:04d}-{safe_reason}.jsonl"
+        else:
+            path = Path(path)
+        header = {
+            "kind": "flight",
+            "reason": reason,
+            "dumped_at_unix": time.time(),
+            "spans": len(spans),
+            "envelopes": len(envelopes),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in [header] + envelopes + spans:
+                handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        with self._lock:
+            self._dump_count += 1
+        return path

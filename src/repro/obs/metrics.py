@@ -39,6 +39,7 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_TIME_BUCKETS",
     "labels_suffix",
+    "quantile_from_counts",
 ]
 
 Number = Union[int, float]
@@ -61,6 +62,31 @@ def labels_suffix(labels: Mapping[str, str]) -> str:
         return ""
     inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
     return "{" + inner + "}"
+
+
+def quantile_from_counts(
+    edges: Sequence[Number], counts: Sequence[int], count: int, q: float
+) -> float:
+    """Upper-edge quantile estimate from fixed-bucket counts.
+
+    Conservative in the upper-bound sense: the true quantile of the
+    observed values is never above the returned edge — except when the
+    target rank falls in the overflow bucket (values above every edge),
+    where the last edge is the best available answer and the estimate
+    becomes a lower bound instead.  ``counts`` has one entry per edge
+    plus the trailing overflow bucket; ``count`` is the total number of
+    observations (the sliding-window aggregator calls this with merged
+    bucket arrays, a :class:`Histogram` with its own).
+    """
+    if count <= 0:
+        return 0.0
+    target = q * count
+    cumulative = 0
+    for edge, bucket in zip(edges, counts):
+        cumulative += bucket
+        if cumulative >= target:
+            return float(edge)
+    return float(edges[-1])  # overflow bucket: bounded below by the last edge
 
 
 class Counter:
@@ -153,6 +179,17 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper-edge estimate of the ``q`` quantile (0 when empty).
+
+        Generic fixed-bucket math (:func:`quantile_from_counts`); the
+        serving stats op and the sliding-window aggregator share it.
+        """
+        with self._lock:
+            counts = list(self.counts)
+            count = self.count
+        return quantile_from_counts(self.edges, counts, count, q)
 
 
 class MetricsRegistry:

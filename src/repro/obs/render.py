@@ -20,6 +20,8 @@ __all__ = [
     "render_metrics",
     "render_profile",
     "render_match_explanation",
+    "render_prometheus",
+    "render_top",
     "stats_json",
 ]
 
@@ -184,6 +186,161 @@ def render_metrics(snapshot: Mapping[str, Any]) -> str:
                 lines.append("    " + " | ".join(cells))
     if not lines:
         lines.append("(empty snapshot)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def _prom_name(name: str) -> str:
+    """Sanitize a dotted metric name into ``[a-zA-Z_][a-zA-Z0-9_]*``."""
+    out = "".join(ch if (ch.isalnum() and ch.isascii()) or ch == "_" else "_"
+                  for ch in name)
+    if not out or not (out[0].isalpha() or out[0] == "_"):
+        out = "_" + out
+    return out
+
+
+def _prom_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [
+        f'{_prom_name(k)}="{_prom_label_value(str(v))}"'
+        for k, v in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _prom_number(value: Any) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def render_prometheus(
+    snapshot: Mapping[str, Any], prefix: str = "grm_"
+) -> str:
+    """A :meth:`MetricsRegistry.snapshot` as Prometheus text exposition.
+
+    One ``# TYPE`` line per metric family, then one sample per labeled
+    child; histograms expand into cumulative ``_bucket{le="..."}``
+    series (ending with the mandatory ``le="+Inf"``), ``_sum``, and
+    ``_count``.  Dots in registry names become underscores; label
+    values are escaped (backslash, double quote, newline).  The output
+    ends with a newline, as scrapers expect.
+    """
+    lines: List[str] = []
+    seen_types: Dict[str, str] = {}
+
+    def type_line(name: str, kind: str) -> None:
+        if seen_types.get(name) != kind:
+            seen_types[name] = kind
+            lines.append(f"# TYPE {name} {kind}")
+
+    for entry in snapshot.get("counters", ()):
+        name = prefix + _prom_name(entry["name"])
+        type_line(name, "counter")
+        lines.append(
+            f"{name}{_prom_labels(entry.get('labels', {}))} "
+            f"{_prom_number(entry['value'])}"
+        )
+    for entry in snapshot.get("gauges", ()):
+        name = prefix + _prom_name(entry["name"])
+        type_line(name, "gauge")
+        lines.append(
+            f"{name}{_prom_labels(entry.get('labels', {}))} "
+            f"{_prom_number(entry['value'])}"
+        )
+    for entry in snapshot.get("histograms", ()):
+        name = prefix + _prom_name(entry["name"])
+        labels = entry.get("labels", {})
+        type_line(name, "histogram")
+        cumulative = 0
+        for edge, count in zip(entry["edges"], entry["counts"]):
+            cumulative += count
+            le = f'le="{_prom_number(float(edge))}"'
+            lines.append(f"{name}_bucket{_prom_labels(labels, le)} {cumulative}")
+        inf_label = 'le="+Inf"'
+        lines.append(
+            f"{name}_bucket{_prom_labels(labels, inf_label)} {entry['count']}"
+        )
+        lines.append(
+            f"{name}_sum{_prom_labels(labels)} {_prom_number(entry['sum'])}"
+        )
+        lines.append(
+            f"{name}_count{_prom_labels(labels)} {entry['count']}"
+        )
+    return "\n".join(lines) + "\n" if lines else "\n"
+
+
+def render_top(stats: Mapping[str, Any]) -> str:
+    """One frame of the ``grm-match obs top`` live view.
+
+    ``stats`` is the serving ``stats`` payload (windowed section
+    included).  Renders the rolling request rate, queue/batching state,
+    per-op windowed latency, and the per-tier win-rate table derived
+    from the ``serve.match_tier{...}`` counters.
+    """
+    lines: List[str] = []
+    window = stats.get("window", {})
+    batching = stats.get("batching", {})
+    counters = stats.get("counters", {})
+    uptime = stats.get("uptime_seconds", 0.0)
+    lines.append(
+        f"uptime {uptime:8.1f}s   "
+        f"window {window.get('seconds', 0):g}s: "
+        f"{window.get('rps', 0.0):8.1f} req/s "
+        f"({window.get('requests', 0)} reqs)"
+        + ("   DRAINING" if stats.get("draining") else "")
+    )
+    lines.append(
+        f"queue: {stats.get('queued', 0)} queued, "
+        f"{stats.get('pending', 0)} pending   "
+        f"batches: {batching.get('batches', 0)} "
+        f"(mean fill {batching.get('mean_fill', 0.0):.2f}, "
+        f"max {batching.get('max_batch', 0)})   "
+        f"overloaded: {counters.get('serve.overloaded', 0)}"
+    )
+    latency = stats.get("latency", {})
+    if latency:
+        lines.append(f"{'op':<10} {'win n':>7} {'p50':>9} {'p99':>9} "
+                     f"{'life n':>8} {'life p99':>9}")
+        for op in sorted(latency):
+            row = latency[op]
+            lines.append(
+                f"{op:<10} {row.get('window_count', 0):>7} "
+                f"{row.get('p50_ms_est', 0.0):>7.2f}ms "
+                f"{row.get('p99_ms_est', 0.0):>7.2f}ms "
+                f"{row.get('lifetime_count', 0):>8} "
+                f"{row.get('lifetime_p99_ms_est', 0.0):>7.2f}ms"
+            )
+    tiers = {}
+    for key, value in counters.items():
+        if key.startswith("serve.match_tier{"):
+            label = key[len("serve.match_tier{"):-1]
+            tier = dict(
+                part.split("=", 1) for part in label.split(",") if "=" in part
+            ).get("tier", label)
+            tiers[tier] = value
+    if tiers:
+        total = sum(tiers.values())
+        lines.append("match differentiation (per-tier wins):")
+        for tier, count in sorted(tiers.items(), key=lambda kv: -kv[1]):
+            pct = 100.0 * count / total if total else 0.0
+            lines.append(f"  {tier:<14} {count:>8}  {pct:5.1f}%")
+    store = stats.get("store")
+    if store:
+        lines.append(
+            f"store: {store.get('dirty', 0)} dirty, "
+            f"{store.get('flushes', 0)} flushes, "
+            f"{store.get('compactions', 0)} compactions"
+        )
     return "\n".join(lines)
 
 

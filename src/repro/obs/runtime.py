@@ -46,12 +46,33 @@ __all__ = [
     "flush",
     "disable",
     "capture",
+    "ForwardingSink",
 ]
 
 enabled: bool = False
 registry: MetricsRegistry = MetricsRegistry()
 tracer: Tracer = NULL_TRACER
 metrics_path = None  # registered dump target for flush()/disable()
+
+
+class ForwardingSink:
+    """Forwards finished records into whatever the *current* global
+    tracer's sinks are — no-op while the global tracer is off.
+
+    The serving layer keeps its own always-on tracer (request + batch
+    spans must reach the flight recorder even with ``--trace`` off);
+    attaching one of these alongside the flight ring makes those same
+    spans appear in any globally-enabled sink (a ``--trace`` JSONL
+    file, a test's ``capture()`` ring) without double-tracking state.
+    Safe because span ids are process-globally unique (see
+    :mod:`repro.obs.trace`), so forwarded records never collide with
+    records the global tracer emitted itself.
+    """
+
+    def emit(self, record) -> None:
+        t = tracer
+        if t.level > 0:  # TRACE_OFF
+            t._emit(record)
 
 
 def enable(

@@ -24,6 +24,20 @@ immediately; ``TRACE_SPANS`` records spans and span attributes but
 drops detail events; ``TRACE_DETAIL`` records everything (per-prune
 events in the matcher's backtracking loop).  The disabled path is a
 single integer compare — verified by ``benchmarks/bench_obs.py``.
+
+Wire-level trace context: a span may carry a caller-supplied
+``trace_id`` (the serving layer copies it out of the request envelope),
+child spans inherit it, and any span can :meth:`~Span.add_link` to
+other spans it causally touched without being their parent — how a
+micro-batch span points back at every coalesced request it served.
+Span ids are unique across *all* tracers in the process (one shared
+counter), so records forwarded from a secondary tracer into the same
+sink never collide.
+
+Async code cannot use the thread-local parent stack (a span held open
+across an ``await`` would adopt unrelated tasks' spans as children);
+it passes ``root=True`` to ``span()``, which records the span without
+touching the stack.
 """
 
 from __future__ import annotations
@@ -53,11 +67,19 @@ TRACE_OFF = 0
 TRACE_SPANS = 1
 TRACE_DETAIL = 2
 
+_SPAN_IDS = itertools.count(1)
+"""Process-wide span-id source: ids stay unique even when several
+tracers (the global one plus a server's always-on serving tracer) feed
+records into one sink."""
+
 
 class _NullSpan:
     """Shared, do-nothing span returned while tracing is off."""
 
     __slots__ = ()
+
+    span_id = 0
+    trace_id = None
 
     def __enter__(self) -> "_NullSpan":
         return self
@@ -69,6 +91,9 @@ class _NullSpan:
         return None
 
     def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    def add_link(self, span_id: int, trace_id: Optional[str] = None) -> None:
         return None
 
     @property
@@ -84,7 +109,8 @@ class Span:
 
     __slots__ = (
         "tracer", "name", "span_id", "parent_id", "depth",
-        "start_ns", "end_ns", "attrs", "events",
+        "start_ns", "end_ns", "attrs", "events", "trace_id", "links",
+        "root",
     )
 
     def __init__(
@@ -95,6 +121,8 @@ class Span:
         parent_id: Optional[int],
         depth: int,
         attrs: Dict[str, Any],
+        trace_id: Optional[str] = None,
+        root: bool = False,
     ):
         self.tracer = tracer
         self.name = name
@@ -105,6 +133,9 @@ class Span:
         self.end_ns = 0
         self.attrs = attrs
         self.events: List[Dict[str, Any]] = []
+        self.trace_id = trace_id
+        self.links: List[Dict[str, Any]] = []
+        self.root = root
 
     @property
     def recording(self) -> bool:
@@ -112,6 +143,18 @@ class Span:
 
     def set(self, key: str, value: Any) -> None:
         self.attrs[key] = value
+
+    def add_link(self, span_id: int, trace_id: Optional[str] = None) -> None:
+        """Record a causal link to another span (not a parent edge).
+
+        The batch span links to every request span whose table it
+        carried, so a slow batch is attributable request-by-request —
+        including by the requests' wire-level ``trace_id``\\ s.
+        """
+        link: Dict[str, Any] = {"span": span_id}
+        if trace_id is not None:
+            link["trace_id"] = trace_id
+        self.links.append(link)
 
     def event(self, name: str, **attrs: Any) -> None:
         """Attach a point event; dropped below ``TRACE_DETAIL``."""
@@ -124,7 +167,8 @@ class Span:
 
     def __enter__(self) -> "Span":
         self.start_ns = time.perf_counter_ns()
-        self.tracer._push(self)
+        if not self.root:
+            self.tracer._push(self)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -134,7 +178,7 @@ class Span:
         self.tracer._pop(self)
 
     def to_record(self) -> Dict[str, Any]:
-        return {
+        record = {
             "kind": "span",
             "id": self.span_id,
             "parent": self.parent_id,
@@ -145,6 +189,11 @@ class Span:
             "attrs": self.attrs,
             "events": self.events,
         }
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
+        if self.links:
+            record["links"] = self.links
+        return record
 
 
 class Tracer:
@@ -153,7 +202,7 @@ class Tracer:
     def __init__(self, sinks: Iterable = (), level: int = TRACE_DETAIL):
         self.sinks = list(sinks)
         self.level = level if self.sinks else TRACE_OFF
-        self._ids = itertools.count(1)
+        self._ids = _SPAN_IDS  # shared: ids unique across every tracer
         self._local = threading.local()
 
     @property
@@ -179,18 +228,34 @@ class Tracer:
         self._stack().append(span)
 
     def _pop(self, span: Span) -> None:
-        stack = self._stack()
-        if stack and stack[-1] is span:
-            stack.pop()
+        if not span.root:
+            stack = self._stack()
+            if stack and stack[-1] is span:
+                stack.pop()
         self._emit(span.to_record())
 
     # -- recording ------------------------------------------------------
 
-    def span(self, name: str, **attrs: Any):
-        """A new child span of the current span (no-op when off)."""
+    def span(
+        self,
+        name: str,
+        trace_id: Optional[str] = None,
+        root: bool = False,
+        **attrs: Any,
+    ):
+        """A new child span of the current span (no-op when off).
+
+        ``trace_id`` attaches a wire-level trace context (inherited by
+        child spans when omitted).  ``root=True`` detaches the span from
+        the thread-local parent stack — required for spans held open
+        across ``await`` points, where stack nesting would tangle
+        concurrent tasks' spans.
+        """
         if self.level < TRACE_SPANS:
             return NULL_SPAN
-        parent = self.current()
+        parent = None if root else self.current()
+        if trace_id is None and parent is not None:
+            trace_id = parent.trace_id
         return Span(
             self,
             name,
@@ -198,6 +263,8 @@ class Tracer:
             parent.span_id if parent is not None else None,
             parent.depth + 1 if parent is not None else 0,
             attrs,
+            trace_id=trace_id,
+            root=root,
         )
 
     def event(self, name: str, **attrs: Any) -> None:

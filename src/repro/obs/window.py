@@ -1,0 +1,290 @@
+"""Sliding-window metrics: rolling rate and quantiles over the last N seconds.
+
+The lifetime-cumulative :class:`~repro.obs.metrics.MetricsRegistry` is
+the right shape for counters that only ever go up, but a serving
+process also needs "what is happening *now*": requests per second over
+the last minute, p99 latency of the last window — numbers that must
+forget warmup and yesterday's traffic.  :class:`SlidingWindow` provides
+that in the same dependency-free style:
+
+* the window is a ring of ``buckets`` fixed-duration buckets (duration
+  ``window_seconds / buckets``); every observation lands in the bucket
+  of the current epoch ``int(now / bucket_seconds)``;
+* reads merge the live buckets **exactly** — bucket counts are plain
+  integer adds, never decayed or interpolated, so a windowed histogram
+  quantile is computed from true counts via the same
+  :func:`~repro.obs.metrics.quantile_from_counts` math the cumulative
+  :class:`~repro.obs.metrics.Histogram` uses;
+* expiry is lazy: touching an instrument first advances its ring,
+  zeroing any bucket whose epoch has fallen out of the window.  There
+  is no background thread and an idle window costs nothing.
+
+Instruments are addressed by ``(name, labels)`` exactly like the
+registry, and the whole window shares one lock (observations are a few
+integer ops; contention is not a concern at serving rates).  The clock
+is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    LabelsKey,
+    Number,
+    _labels_key,
+    quantile_from_counts,
+)
+
+__all__ = ["SlidingWindow", "WindowedCounter", "WindowedHistogram"]
+
+
+class WindowedCounter:
+    """A counter whose value is the sum over the live window buckets."""
+
+    __slots__ = ("name", "labels", "_epochs", "_values", "_window")
+
+    def __init__(self, name: str, labels: Mapping[str, str], window: "SlidingWindow"):
+        self.name = name
+        self.labels = dict(labels)
+        self._window = window
+        self._epochs = [-1] * window.buckets
+        self._values: List[Number] = [0] * window.buckets
+
+    # internal: caller holds the window lock
+    def _advance(self, epoch: int) -> None:
+        slot = epoch % len(self._epochs)
+        if self._epochs[slot] != epoch:
+            self._epochs[slot] = epoch
+            self._values[slot] = 0
+
+    def _live_values(self, epoch: int) -> List[Number]:
+        floor = epoch - len(self._epochs) + 1
+        return [
+            v for e, v in zip(self._epochs, self._values) if floor <= e <= epoch
+        ]
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment {amount}")
+        with self._window._lock:
+            epoch = self._window._epoch()
+            self._advance(epoch)
+            self._values[epoch % len(self._epochs)] += amount
+
+    @property
+    def value(self) -> Number:
+        """Sum over the live buckets (observations within the window)."""
+        with self._window._lock:
+            return sum(self._live_values(self._window._epoch()))
+
+    def rate(self) -> float:
+        """Per-second rate over the covered window (see SlidingWindow.coverage)."""
+        with self._window._lock:
+            total = sum(self._live_values(self._window._epoch()))
+            seconds = self._window._coverage_locked()
+        return total / seconds if seconds > 0 else 0.0
+
+
+class WindowedHistogram:
+    """Fixed-bucket histogram over the live window (exact merged counts)."""
+
+    __slots__ = ("name", "labels", "edges", "_epochs", "_counts", "_sums",
+                 "_totals", "_window")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Mapping[str, str],
+        edges: Sequence[Number],
+        window: "SlidingWindow",
+    ):
+        ordered = tuple(edges)
+        if not ordered:
+            raise ValueError(f"windowed histogram {name!r}: needs bucket edges")
+        if any(a >= b for a, b in zip(ordered, ordered[1:])):
+            raise ValueError(
+                f"windowed histogram {name!r}: edges must strictly increase"
+            )
+        self.name = name
+        self.labels = dict(labels)
+        self.edges = ordered
+        self._window = window
+        nb = window.buckets
+        self._epochs = [-1] * nb
+        self._counts = [[0] * (len(ordered) + 1) for _ in range(nb)]
+        self._sums: List[Number] = [0] * nb
+        self._totals = [0] * nb
+
+    def _advance(self, epoch: int) -> None:
+        slot = epoch % len(self._epochs)
+        if self._epochs[slot] != epoch:
+            self._epochs[slot] = epoch
+            self._counts[slot] = [0] * (len(self.edges) + 1)
+            self._sums[slot] = 0
+            self._totals[slot] = 0
+
+    def observe(self, value: Number) -> None:
+        idx = len(self.edges)  # overflow by default
+        for i, edge in enumerate(self.edges):
+            if value <= edge:
+                idx = i
+                break
+        with self._window._lock:
+            epoch = self._window._epoch()
+            self._advance(epoch)
+            slot = epoch % len(self._epochs)
+            self._counts[slot][idx] += 1
+            self._sums[slot] += value
+            self._totals[slot] += 1
+
+    def merged(self) -> Tuple[List[int], Number, int]:
+        """Exact ``(bucket_counts, sum, count)`` over the live buckets."""
+        with self._window._lock:
+            epoch = self._window._epoch()
+            floor = epoch - len(self._epochs) + 1
+            counts = [0] * (len(self.edges) + 1)
+            total_sum: Number = 0
+            total_count = 0
+            for slot, e in enumerate(self._epochs):
+                if floor <= e <= epoch:
+                    for i, c in enumerate(self._counts[slot]):
+                        counts[i] += c
+                    total_sum += self._sums[slot]
+                    total_count += self._totals[slot]
+        return counts, total_sum, total_count
+
+    @property
+    def count(self) -> int:
+        return self.merged()[2]
+
+    @property
+    def mean(self) -> float:
+        _, s, c = self.merged()
+        return s / c if c else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Windowed upper-edge quantile (same math as Histogram.quantile)."""
+        counts, _, count = self.merged()
+        return quantile_from_counts(self.edges, counts, count, q)
+
+
+class SlidingWindow:
+    """A family of named, labeled windowed instruments."""
+
+    def __init__(
+        self,
+        window_seconds: float = 60.0,
+        buckets: int = 12,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if buckets < 2:
+            raise ValueError("a sliding window needs at least 2 buckets")
+        self.window_seconds = float(window_seconds)
+        self.buckets = int(buckets)
+        self.bucket_seconds = self.window_seconds / self.buckets
+        self._clock = clock
+        self._t0 = clock()
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, LabelsKey], WindowedCounter] = {}
+        self._histograms: Dict[Tuple[str, LabelsKey], WindowedHistogram] = {}
+
+    # internal: callers of _epoch/_coverage_locked hold self._lock
+    def _epoch(self) -> int:
+        return int((self._clock() - self._t0) / self.bucket_seconds)
+
+    def _coverage_locked(self) -> float:
+        """Seconds the live buckets actually span (exact during warmup).
+
+        A freshly started window has observed less than ``window_seconds``
+        of wall time; dividing by the full window would understate early
+        rates, so coverage is ``min(elapsed, window_seconds)``.
+        """
+        return min(self._clock() - self._t0, self.window_seconds)
+
+    @property
+    def coverage_seconds(self) -> float:
+        with self._lock:
+            return self._coverage_locked()
+
+    # -- instrument lookup/creation -------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> WindowedCounter:
+        key = (name, _labels_key(labels))
+        child = self._counters.get(key)
+        if child is None:
+            with self._lock:
+                child = self._counters.setdefault(
+                    key, WindowedCounter(name, dict(key[1]), self)
+                )
+        return child
+
+    def histogram(
+        self,
+        name: str,
+        edges: Optional[Sequence[Number]] = None,
+        **labels: Any,
+    ) -> WindowedHistogram:
+        key = (name, _labels_key(labels))
+        child = self._histograms.get(key)
+        if child is None:
+            with self._lock:
+                child = self._histograms.setdefault(
+                    key,
+                    WindowedHistogram(
+                        name, dict(key[1]), edges or DEFAULT_TIME_BUCKETS, self
+                    ),
+                )
+        if edges is not None and tuple(edges) != child.edges:
+            raise ValueError(
+                f"windowed histogram {name!r} already exists with edges "
+                f"{child.edges}"
+            )
+        return child
+
+    # -- reads -----------------------------------------------------------
+
+    def histograms(self, name: Optional[str] = None):
+        """Live ``(labels, histogram)`` pairs, optionally filtered by name."""
+        items = list(self._histograms.items())
+        return [
+            (dict(labels_key), hist)
+            for (hist_name, labels_key), hist in items
+            if name is None or hist_name == name
+        ]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able image of every instrument's windowed totals."""
+        counters = list(self._counters.values())
+        histograms = list(self._histograms.values())
+        out: Dict[str, Any] = {
+            "kind": "window-snapshot",
+            "window_seconds": self.window_seconds,
+            "buckets": self.buckets,
+            "coverage_seconds": self.coverage_seconds,
+            "counters": [],
+            "histograms": [],
+        }
+        for c in sorted(counters, key=lambda c: (c.name, _labels_key(c.labels))):
+            out["counters"].append(
+                {"name": c.name, "labels": c.labels, "value": c.value,
+                 "rate": c.rate()}
+            )
+        for h in sorted(histograms, key=lambda h: (h.name, _labels_key(h.labels))):
+            counts, total_sum, count = h.merged()
+            out["histograms"].append(
+                {
+                    "name": h.name,
+                    "labels": h.labels,
+                    "edges": list(h.edges),
+                    "counts": counts,
+                    "sum": total_sum,
+                    "count": count,
+                }
+            )
+        return out

@@ -13,10 +13,12 @@ and the sharded :class:`~repro.store.ClassStore` into a serving story:
   call; queues are bounded and overflow is an explicit ``overloaded``
   reply, never unbounded growth.
 * :mod:`repro.serve.server` — the asyncio daemon: NDJSON-over-TCP with
-  an HTTP/1.1 shim on the same port, per-request spans and labeled
-  metrics through :mod:`repro.obs`, background store write-back and
-  periodic compaction off the request path, and graceful
-  drain-and-flush shutdown on SIGTERM.
+  an HTTP/1.1 shim on the same port (``GET /metrics`` serves Prometheus
+  text exposition), per-request root spans carrying the client's wire
+  ``trace_id``, sliding-window rate/latency in the ``stats`` op, an
+  always-on flight recorder (slow-request/overloaded/SIGUSR2 dumps),
+  background store write-back and periodic compaction off the request
+  path, and graceful drain-and-flush shutdown on SIGTERM.
 * :mod:`repro.serve.client` — a small blocking client (used by the
   ``grm-match client`` CLI verb, the tests, and the seeded load
   harness ``benchmarks/bench_serve.py``).

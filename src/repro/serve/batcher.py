@@ -28,6 +28,12 @@ Three properties the server leans on:
 Batching disabled (``max_batch=1`` / ``max_wait=0``) degenerates to
 one engine call per table through the very same code path — the
 benchmark's on/off comparison toggles numbers, not code.
+
+Tracing: when the server hands the batcher a tracer, every engine
+chunk runs under a root ``serve.batch`` span that
+:meth:`~repro.obs.trace.Span.add_link`-s the request span of each
+coalesced table (with its wire-level ``trace_id``), so a slow batch in
+a flight dump is attributable request-by-request.
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.boolfunc.truthtable import TruthTable
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.classifier import ClassificationEngine, ClassKey
@@ -55,11 +62,12 @@ class OverloadedError(Exception):
 class _Slot:
     """One admitted table awaiting its class key."""
 
-    __slots__ = ("table", "future")
+    __slots__ = ("table", "future", "span")
 
-    def __init__(self, table: TruthTable, future: "asyncio.Future"):
+    def __init__(self, table: TruthTable, future: "asyncio.Future", span=None):
         self.table = table
         self.future = future
+        self.span = span  # the submitting request's span (for batch links)
 
 
 class MicroBatcher:
@@ -72,6 +80,7 @@ class MicroBatcher:
         max_wait: float = 0.002,
         max_pending: int = 1024,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if max_pending < 1:
             raise ValueError("max_pending must be at least 1")
@@ -80,6 +89,7 @@ class MicroBatcher:
         self.max_wait = max(0.0, max_wait)
         self.max_pending = max_pending
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="grm-serve-engine"
         )
@@ -103,12 +113,16 @@ class MicroBatcher:
 
     # -- admission -------------------------------------------------------
 
-    async def submit(self, tables: Sequence[TruthTable]) -> List["ClassKey"]:
+    async def submit(
+        self, tables: Sequence[TruthTable], span=None
+    ) -> List["ClassKey"]:
         """Admit ``tables`` (all of one request) and await their class keys.
 
         All-or-nothing: either every table is admitted or
         :class:`OverloadedError` is raised and nothing was queued, so a
-        ``match`` request can never deadlock half-admitted.
+        ``match`` request can never deadlock half-admitted.  ``span`` is
+        the submitting request's span; the batch span that eventually
+        serves each table links back to it.
         """
         if self._closed:
             raise OverloadedError("batcher is closed")
@@ -126,7 +140,7 @@ class MicroBatcher:
         for table in tables:
             future = loop.create_future()
             futures.append(future)
-            self._waiting.setdefault(table.n, []).append(_Slot(table, future))
+            self._waiting.setdefault(table.n, []).append(_Slot(table, future, span))
             touched.add(table.n)
         self.metrics.gauge("serve.queue_depth").set(self.queued)
         for n in touched:
@@ -164,16 +178,27 @@ class MicroBatcher:
             self.metrics.histogram(
                 "serve.batch_fill", edges=BATCH_FILL_BUCKETS
             ).observe(len(chunk))
-            t0 = time.perf_counter()
-            try:
-                result = await loop.run_in_executor(
-                    self.executor, self.engine.classify, tables
-                )
-            except Exception as exc:  # engine failure fails the chunk, not the server
+            # Root span: it stays open across the executor await, where
+            # stack-nested spans would tangle with concurrent requests.
+            batch_span = self.tracer.span(
+                "serve.batch", root=True, n=tables[0].n, fill=len(chunk)
+            )
+            if batch_span.recording:
                 for slot in chunk:
-                    if not slot.future.done():
-                        slot.future.set_exception(exc)
-                continue
+                    sp = slot.span
+                    if sp is not None and sp.recording:
+                        batch_span.add_link(sp.span_id, sp.trace_id)
+            with batch_span:
+                t0 = time.perf_counter()
+                try:
+                    result = await loop.run_in_executor(
+                        self.executor, self.engine.classify, tables
+                    )
+                except Exception as exc:  # engine failure fails the chunk, not the server
+                    for slot in chunk:
+                        if not slot.future.done():
+                            slot.future.set_exception(exc)
+                    continue
             self.metrics.counter("serve.batcher.classify_seconds").inc(
                 time.perf_counter() - t0
             )

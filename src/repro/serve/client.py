@@ -11,6 +11,11 @@ threads) all want.
 Error replies surface as :class:`ServerError` carrying the machine
 code (``overloaded``, ``bad_request``, ...) so callers can branch on
 ``exc.code`` without string-matching detail text.
+
+A client constructed with ``trace_id=...`` stamps that id on every
+request it sends (per-call ``trace_id`` arguments override it), which
+is all it takes to follow one caller's requests through the server's
+spans and flight dumps.
 """
 
 from __future__ import annotations
@@ -42,10 +47,17 @@ def _table_payload(f: TruthTable) -> Dict[str, Any]:
 class MatchClient:
     """One blocking NDJSON connection to a :class:`MatchServer`."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 30.0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 30.0,
+        trace_id: Optional[str] = None,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.trace_id = trace_id
         self._sock: Optional[socket.socket] = None
         self._recv_file = None
         self._ids = itertools.count(1)
@@ -88,6 +100,8 @@ class MatchClient:
         assert self._sock is not None and self._recv_file is not None
         if "id" not in obj:
             obj = dict(obj, id=next(self._ids))
+        if self.trace_id is not None and "trace_id" not in obj:
+            obj = dict(obj, trace_id=self.trace_id)
         self._sock.sendall(encode_line(obj))
         line = self._recv_file.readline()
         if not line:
@@ -111,11 +125,20 @@ class MatchClient:
     def ping(self) -> Dict[str, Any]:
         return self.request({"op": "ping"})
 
-    def classify(self, f: TruthTable) -> Dict[str, Any]:
-        return self.request(dict(_table_payload(f), op="classify"))
+    def classify(
+        self, f: TruthTable, trace_id: Optional[str] = None
+    ) -> Dict[str, Any]:
+        req = dict(_table_payload(f), op="classify")
+        if trace_id is not None:
+            req["trace_id"] = trace_id
+        return self.request(req)
 
     def match(
-        self, a: TruthTable, b: TruthTable, witness: bool = False
+        self,
+        a: TruthTable,
+        b: TruthTable,
+        witness: bool = False,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         req: Dict[str, Any] = {
             "op": "match",
@@ -124,10 +147,17 @@ class MatchClient:
         }
         if witness:
             req["witness"] = True
+        if trace_id is not None:
+            req["trace_id"] = trace_id
         return self.request(req)
 
-    def lookup(self, f: TruthTable) -> Dict[str, Any]:
-        return self.request(dict(_table_payload(f), op="lookup"))
+    def lookup(
+        self, f: TruthTable, trace_id: Optional[str] = None
+    ) -> Dict[str, Any]:
+        req = dict(_table_payload(f), op="lookup")
+        if trace_id is not None:
+            req["trace_id"] = trace_id
+        return self.request(req)
 
     def stats(self) -> Dict[str, Any]:
         return self.request({"op": "stats"})

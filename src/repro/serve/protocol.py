@@ -34,6 +34,13 @@ saturation, and the HTTP shim maps the codes onto real status lines.
 Truth-table bits travel as either a JSON integer or a ``"0x..."``
 string (big tables read better hex-encoded; Python JSON handles both
 losslessly).  Responses always use hex strings.
+
+Any request may additionally carry a ``trace_id`` — an opaque string
+(at most ``MAX_TRACE_ID_CHARS`` characters) naming the caller's trace
+context.  The server stamps it on the request's span and on every span
+causally linked to the request (the micro-batch span links back to all
+coalesced requests), so one distributed trace id is followable from a
+client, through the batch window, to the engine call that served it.
 """
 
 from __future__ import annotations
@@ -47,6 +54,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "MAX_LINE_BYTES",
     "MAX_SUPPORT",
+    "MAX_TRACE_ID_CHARS",
     "OPS",
     "ERR_BAD_REQUEST",
     "ERR_PAYLOAD_TOO_LARGE",
@@ -71,6 +79,10 @@ MAX_LINE_BYTES = 1 << 20
 MAX_SUPPORT = 16
 """Largest accepted support width (2**16-row tables; the engine's
 practical ceiling — reject absurd widths before allocating anything)."""
+
+MAX_TRACE_ID_CHARS = 128
+"""Bound on the caller-supplied ``trace_id`` (it is echoed into span
+records; an unbounded id would let a client bloat the flight ring)."""
 
 OPS = frozenset({"ping", "classify", "match", "lookup", "stats", "shutdown"})
 
@@ -150,6 +162,15 @@ def decode_request(line: bytes) -> Dict[str, Any]:
     rid = obj.get("id")
     if rid is not None and not isinstance(rid, (str, int)):
         raise ProtocolError(ERR_BAD_REQUEST, "id must be a string or int")
+    trace_id = obj.get("trace_id")
+    if trace_id is not None:
+        if not isinstance(trace_id, str) or not trace_id:
+            raise ProtocolError(ERR_BAD_REQUEST, "trace_id must be a non-empty string")
+        if len(trace_id) > MAX_TRACE_ID_CHARS:
+            raise ProtocolError(
+                ERR_BAD_REQUEST,
+                f"trace_id exceeds {MAX_TRACE_ID_CHARS} characters",
+            )
     return obj
 
 

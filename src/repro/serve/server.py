@@ -31,6 +31,19 @@ the store, flush observability sinks (:func:`repro.obs.runtime.flush`),
 then close the remaining connections and return from
 :meth:`wait_stopped`.
 
+Telemetry: the server owns an always-on serving tracer whose sinks are
+the flight recorder's ring plus a
+:class:`~repro.obs.runtime.ForwardingSink` (so ``--trace`` files and
+test captures see the same spans).  Each request runs under a root
+``serve.request`` span carrying the client's wire ``trace_id``; the
+batcher's ``serve.batch`` spans link back to every coalesced request.
+Rolling rate/latency comes from a :class:`~repro.obs.window.SlidingWindow`
+(the ``stats`` op's p50/p99 reflect the last window, with lifetime
+values kept under ``lifetime_*`` keys), ``GET /metrics`` exposes the
+cumulative registry in Prometheus text format, and the flight recorder
+dumps its rings on slow requests, ``overloaded``/``internal`` replies
+(both only when ``flight_dir`` is configured), or SIGUSR2 (always).
+
 ``ServerThread`` runs the whole thing on a private event loop in a
 daemon thread — the harness used by the tests and by
 ``benchmarks/bench_serve.py`` to serve and drive load from one process.
@@ -45,9 +58,19 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional
 
+from repro.boolfunc.truthtable import TruthTable
 from repro.engine.classifier import ClassificationEngine
+from repro.engine.prekey import (
+    coarse_prekey,
+    influence_prekey,
+    sensitivity_prekey,
+)
 from repro.obs import runtime as _obs
-from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.render import render_prometheus
+from repro.obs.trace import TRACE_SPANS, Tracer
+from repro.obs.window import SlidingWindow
 from repro.serve import protocol
 from repro.serve.batcher import MicroBatcher, OverloadedError
 from repro.serve.protocol import (
@@ -108,6 +131,27 @@ class ServeConfig:
     """False forces ``max_batch=1, max_wait=0`` (the load harness's
     coalescing-off arm); everything else stays identical."""
 
+    window_seconds: float = 60.0
+    """Span of the sliding stats window (rolling rps and p50/p99)."""
+
+    window_buckets: int = 12
+    """Ring buckets in the sliding window (resolution of expiry)."""
+
+    flight_dir: Optional[str] = None
+    """Directory for automatic flight-recorder dumps.  ``None`` disables
+    the slow-request/overloaded/internal triggers; SIGUSR2 still dumps
+    (to the system temp dir when unset)."""
+
+    slow_request_ms: float = 250.0
+    """A request at or above this latency triggers a flight dump (when
+    ``flight_dir`` is set); 0 disables the slow trigger."""
+
+    flight_capacity: int = 2048
+    """Spans kept in the flight ring (envelopes ring is half that)."""
+
+    flight_min_interval: float = 5.0
+    """Seconds between automatic flight dumps (storm suppression)."""
+
     def effective(self) -> "ServeConfig":
         if self.batching:
             return self
@@ -121,6 +165,12 @@ class ServeConfig:
             flush_interval=self.flush_interval,
             compact_every=self.compact_every,
             batching=False,
+            window_seconds=self.window_seconds,
+            window_buckets=self.window_buckets,
+            flight_dir=self.flight_dir,
+            slow_request_ms=self.slow_request_ms,
+            flight_capacity=self.flight_capacity,
+            flight_min_interval=self.flight_min_interval,
         )
 
 
@@ -145,12 +195,30 @@ class MatchServer:
         self.engine = engine
         self.store = store if store is not None else engine.store
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.window = SlidingWindow(
+            window_seconds=self.config.window_seconds,
+            buckets=self.config.window_buckets,
+        )
+        self.flight = FlightRecorder(
+            capacity=self.config.flight_capacity,
+            envelope_capacity=max(1, self.config.flight_capacity // 2),
+            directory=self.config.flight_dir,
+            min_interval=self.config.flight_min_interval,
+        )
+        # Always-on serving tracer: request/batch spans must reach the
+        # flight ring even with global observability off; the forwarding
+        # sink mirrors them into --trace files / test captures when the
+        # global tracer is live.
+        self.tracer = Tracer(
+            [self.flight.sink, _obs.ForwardingSink()], level=TRACE_SPANS
+        )
         self.batcher = MicroBatcher(
             engine,
             max_batch=self.config.max_batch,
             max_wait=self.config.max_wait,
             max_pending=self.config.max_pending,
             metrics=self.metrics,
+            tracer=self.tracer,
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._flush_task: Optional[asyncio.Task] = None
@@ -188,7 +256,7 @@ class MatchServer:
             )
 
     def install_signal_handlers(self) -> None:
-        """SIGTERM/SIGINT → graceful drain-and-flush shutdown."""
+        """SIGTERM/SIGINT → graceful shutdown; SIGUSR2 → flight dump."""
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGTERM, signal.SIGINT):
             try:
@@ -200,6 +268,14 @@ class MatchServer:
                 )
             except (NotImplementedError, RuntimeError):  # pragma: no cover
                 pass  # platform without loop signal support
+        usr2 = getattr(signal, "SIGUSR2", None)
+        if usr2 is not None:
+            try:
+                loop.add_signal_handler(
+                    usr2, lambda: self.flight.dump("sigusr2", force=True)
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
 
     async def wait_stopped(self) -> None:
         assert self._stopped is not None, "start() first"
@@ -364,6 +440,11 @@ class MatchServer:
                 response = ok_response(None, self._ping_payload())
             elif target == "/stats":
                 response = ok_response(None, self.stats_payload())
+            elif target == "/metrics":
+                await self._write_http_text(
+                    writer, render_prometheus(self.metrics_snapshot())
+                )
+                return
             else:
                 response = error_response(
                     None, ERR_BAD_REQUEST, f"unknown GET target {target!r}"
@@ -423,22 +504,45 @@ class MatchServer:
         )
         await writer.drain()
 
+    async def _write_http_text(
+        self, writer: asyncio.StreamWriter, text: str
+    ) -> None:
+        """Plain-text 200 (the /metrics exposition body)."""
+        body = text.encode("utf-8")
+        writer.write(
+            (
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            + body
+        )
+        await writer.drain()
+
     # -- request handling ------------------------------------------------
 
     async def _handle_line(self, line: bytes) -> Dict[str, Any]:
         t0 = time.perf_counter()
         rid = None
         op = "invalid"
+        trace_id = None
+        req_span = None
         self._active_requests += 1
         try:
             try:
                 request = decode_request(line)
                 rid = request.get("id")
                 op = request["op"]
-                with _obs.tracer.span("serve.request", op=op) as span:
-                    result = await self._dispatch(op, request)
-                    if span.recording:
-                        span.set("ok", True)
+                trace_id = request.get("trace_id")
+                # Root span: it stays open across awaits, where stack
+                # nesting would adopt concurrent requests as children.
+                req_span = self.tracer.span(
+                    "serve.request", root=True, trace_id=trace_id, op=op
+                )
+                with req_span as span:
+                    result = await self._dispatch(op, request, span)
+                    span.set("ok", True)
                 response = ok_response(rid, result)
                 code = "ok"
             except ProtocolError as exc:
@@ -454,16 +558,48 @@ class MatchServer:
                     rid, ERR_INTERNAL, f"{type(exc).__name__}: {exc}"
                 )
                 code = ERR_INTERNAL
+            elapsed = time.perf_counter() - t0
             self.metrics.counter("serve.requests", op=op).inc()
             self.metrics.counter("serve.responses", code=code).inc()
             self.metrics.histogram(
                 "serve.request_seconds", edges=LATENCY_BUCKETS, op=op
-            ).observe(time.perf_counter() - t0)
+            ).observe(elapsed)
+            self.window.counter("serve.requests").inc()
+            self.window.histogram(
+                "serve.request_seconds", edges=LATENCY_BUCKETS, op=op
+            ).observe(elapsed)
+            envelope: Dict[str, Any] = {
+                "op": op,
+                "code": code,
+                "ms": round(elapsed * 1e3, 3),
+            }
+            if rid is not None:
+                envelope["id"] = rid
+            if trace_id is not None:
+                envelope["trace_id"] = trace_id
+            if req_span is not None and req_span.recording:
+                envelope["span"] = req_span.span_id
+            self.flight.record_envelope(envelope)
+            self._maybe_flight_dump(code, elapsed * 1e3)
             return response
         finally:
             self._active_requests -= 1
 
-    async def _dispatch(self, op: str, request: Mapping[str, Any]) -> Dict[str, Any]:
+    def _maybe_flight_dump(self, code: str, elapsed_ms: float) -> None:
+        """Automatic flight triggers (rate-limited, need a flight_dir)."""
+        if self.config.flight_dir is None:
+            return
+        if code in (ERR_OVERLOADED, ERR_INTERNAL):
+            self.flight.dump(code)
+        elif (
+            self.config.slow_request_ms > 0
+            and elapsed_ms >= self.config.slow_request_ms
+        ):
+            self.flight.dump("slow-request")
+
+    async def _dispatch(
+        self, op: str, request: Mapping[str, Any], span=None
+    ) -> Dict[str, Any]:
         if op == "ping":
             return self._ping_payload()
         if op == "stats":
@@ -475,25 +611,42 @@ class MatchServer:
             raise ProtocolError(ERR_SHUTTING_DOWN, "server is draining")
         if op == "classify":
             table = parse_table(request, "request")
-            keys = await self.batcher.submit([table])
+            keys = await self.batcher.submit([table], span)
             return class_payload(keys[0])
         if op == "match":
-            return await self._dispatch_match(request)
+            return await self._dispatch_match(request, span)
         if op == "lookup":
             return await self._dispatch_lookup(request)
         raise ProtocolError(ERR_BAD_REQUEST, f"unhandled op {op!r}")  # unreachable
 
-    async def _dispatch_match(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+    def _note_match_tier(self, tier: str, span) -> None:
+        """Count a match's differentiating tier and stamp its span."""
+        self.metrics.counter("serve.match_tier", tier=tier).inc()
+        self.window.counter("serve.match_tier", tier=tier).inc()
+        if span is not None and span.recording:
+            span.set("differentiated_by", tier)
+
+    async def _dispatch_match(
+        self, request: Mapping[str, Any], span=None
+    ) -> Dict[str, Any]:
         a = parse_table(request.get("a"), "a")
         b = parse_table(request.get("b"), "b")
         if a.n != b.n:
+            self._note_match_tier("support", span)
             return {
                 "equivalent": False,
+                "differentiated_by": "support",
                 "reason": f"support widths differ ({a.n} vs {b.n})",
             }
-        key_a, key_b = await self.batcher.submit([a, b])
+        key_a, key_b = await self.batcher.submit([a, b], span)
+        equivalent = key_a == key_b
+        tier = await asyncio.get_running_loop().run_in_executor(
+            self.batcher.executor, _match_tier, a, b, equivalent
+        )
+        self._note_match_tier(tier, span)
         result: Dict[str, Any] = {
-            "equivalent": key_a == key_b,
+            "equivalent": equivalent,
+            "differentiated_by": tier,
             "a_class": class_payload(key_a),
             "b_class": class_payload(key_b),
         }
@@ -552,7 +705,12 @@ class MatchServer:
         }
 
     def stats_payload(self) -> Dict[str, Any]:
-        """Queue depth, batch fill, coalesce ratio, latency percentiles."""
+        """Queue depth, batch fill, coalesce ratio, latency percentiles.
+
+        Per-op ``p50_ms_est``/``p99_ms_est`` come from the sliding
+        window (what is happening *now*); cumulative-since-boot values
+        stay available under ``lifetime_*`` keys.
+        """
         batches = self.metrics.counter_value("serve.batcher.batches")
         tables = self.metrics.counter_value("serve.batcher.tables")
         latency: Dict[str, Dict[str, float]] = {}
@@ -560,17 +718,31 @@ class MatchServer:
             if name != "serve.request_seconds":
                 continue
             op = dict(labels_key).get("op", "")
+            win = self.window.histogram(
+                "serve.request_seconds", edges=LATENCY_BUCKETS, op=op
+            )
             latency[op] = {
-                "count": hist.count,
-                "mean_ms": hist.mean * 1e3,
-                "p50_ms_est": _hist_quantile(hist, 0.50) * 1e3,
-                "p99_ms_est": _hist_quantile(hist, 0.99) * 1e3,
+                "window_count": win.count,
+                "mean_ms": win.mean * 1e3,
+                "p50_ms_est": win.quantile(0.50) * 1e3,
+                "p99_ms_est": win.quantile(0.99) * 1e3,
+                "lifetime_count": hist.count,
+                "lifetime_mean_ms": hist.mean * 1e3,
+                "lifetime_p50_ms_est": hist.quantile(0.50) * 1e3,
+                "lifetime_p99_ms_est": hist.quantile(0.99) * 1e3,
             }
+        requests_window = self.window.counter("serve.requests")
         payload: Dict[str, Any] = {
             "uptime_seconds": time.monotonic() - self._started_at,
             "draining": self._draining,
             "pending": self.batcher.pending,
             "queued": self.batcher.queued,
+            "window": {
+                "seconds": self.window.window_seconds,
+                "coverage_seconds": self.window.coverage_seconds,
+                "requests": requests_window.value,
+                "rps": requests_window.rate(),
+            },
             "batching": {
                 "max_batch": self.config.max_batch,
                 "max_wait": self.config.max_wait,
@@ -580,6 +752,11 @@ class MatchServer:
             },
             "counters": self.metrics.flat("serve."),
             "latency": latency,
+            "flight": {
+                "spans": len(self.flight.sink),
+                "envelopes": len(self.flight.envelopes()),
+                "dumps": self.flight.dump_count,
+            },
         }
         if self.store is not None:
             payload["store"] = {
@@ -589,18 +766,59 @@ class MatchServer:
             }
         return payload
 
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The registry snapshot plus computed gauges, for ``/metrics``."""
+        snap = self.metrics.snapshot()
+        requests_window = self.window.counter("serve.requests")
+        snap["gauges"].extend(
+            [
+                {
+                    "name": "serve.uptime_seconds",
+                    "labels": {},
+                    "value": time.monotonic() - self._started_at,
+                },
+                {
+                    "name": "serve.pending",
+                    "labels": {},
+                    "value": self.batcher.pending,
+                },
+                {
+                    "name": "serve.window_rps",
+                    "labels": {},
+                    "value": requests_window.rate(),
+                },
+                {
+                    "name": "serve.flight_dumps",
+                    "labels": {},
+                    "value": self.flight.dump_count,
+                },
+            ]
+        )
+        return snap
 
-def _hist_quantile(hist: Histogram, q: float) -> float:
-    """Upper-edge quantile estimate from fixed buckets (conservative)."""
-    if hist.count == 0:
-        return 0.0
-    target = q * hist.count
-    cumulative = 0
-    for i, edge in enumerate(hist.edges):
-        cumulative += hist.counts[i]
-        if cumulative >= target:
-            return float(edge)
-    return float(hist.edges[-1])  # overflow bucket: bounded by last edge
+
+def _match_tier(a: TruthTable, b: TruthTable, equivalent: bool) -> str:
+    """Name the signature tier that separated (or failed to separate) a pair.
+
+    Mirrors the engine's prekey ladder: the cheapest signature family
+    whose keys differ is what actually differentiated the two functions;
+    when every family agrees but the classes still differ, only the GRM
+    canonical form told them apart.  Equivalent pairs report
+    ``"equivalent"`` — no tier separated them.  Runs on the engine
+    executor thread (prekeys are O(n·2^n) bit counting).
+    """
+    if equivalent:
+        return "equivalent"
+    coarse_a, coarse_b = coarse_prekey(a), coarse_prekey(b)
+    if coarse_a != coarse_b:
+        return "weights"
+    infl_a = influence_prekey(a, coarse_a)
+    infl_b = influence_prekey(b, coarse_b)
+    if infl_a != infl_b:
+        return "influence"
+    if sensitivity_prekey(a, infl_a) != sensitivity_prekey(b, infl_b):
+        return "sensitivity"
+    return "grm"
 
 
 # ----------------------------------------------------------------------
