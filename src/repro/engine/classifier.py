@@ -124,8 +124,10 @@ class EngineOptions:
     at least :data:`repro.kernels.KERNEL_MIN_BATCH` distinct functions
     through the bit-parallel batch kernel, ``"batch"`` forces the kernel
     wherever it supports the width, ``"scalar"`` always uses the
-    per-function path.  All modes produce identical buckets and class
-    partitions."""
+    per-function path.  ``"lanes"`` / ``"words"`` additionally pin the
+    batched layout (flat lane-packed vs slab word-array) instead of
+    letting :func:`repro.kernels.choose_layout` pick by width.  All
+    modes produce identical buckets and class partitions."""
 
     use_membership: bool = True
     """Enable the early-exit membership probe inside buckets."""
@@ -257,13 +259,18 @@ class EngineResult:
         raise KeyError(index)
 
     def report_dict(self) -> Dict:
-        """JSON-able summary (used by ``grm-match classify --report json``)."""
+        """JSON-able summary (used by ``grm-match classify --report json``).
+
+        Canonical keys are hex strings (the store/wire convention): a
+        raw decimal int would trip CPython's int-to-str conversion
+        limit for tables of 14+ variables.
+        """
         return {
             "functions": len(self.functions),
             "classes": [
                 {
                     "n": key.n,
-                    "key": key.key,
+                    "key": f"0x{key.key:x}",
                     "quarantined": key.quarantined,
                     "members": idxs,
                 }
@@ -799,7 +806,9 @@ class ClassificationEngine:
                 by_n.setdefault(n, []).append(bits)
             for n, group in sorted(by_n.items()):
                 if kernels.should_batch(n, len(group), self.options.kernel):
-                    keys, weights = kernels.coarse_prekeys(group, n)
+                    keys, weights = kernels.coarse_prekeys(
+                        group, n, self.options.kernel
+                    )
                     metrics.inc("kernel_batched", len(group))
                     for bits, ckey, w in zip(group, keys, weights):
                         coarse.setdefault(ckey, []).append((n, bits))

@@ -14,8 +14,17 @@ reproduces their raw counts bit-for-bit for a whole batch at once:
   boundary columns — through per-lane popcount reductions.
 
 Both entry points silently fall back to the scalar implementations
-below the kernel's byte-aligned lane floor (``n < 3``), mirroring
-:func:`repro.kernels.prekey.batch_prekeys`.
+below the kernel's byte-aligned lane floor (``n < 3``) — mirroring
+:func:`repro.kernels.prekey.batch_prekeys` — and *above*
+:data:`BATCH_MAX_N`: the influence pipeline is n reduction rounds per
+axis (n^2 total) over the whole packed batch, and from ``n = 11`` up
+that loses to the scalar per-table masked-popcount loops by ~7x
+(28ms vs 4ms at n=14, B=256; the same reason
+:data:`repro.kernels.popcount.AUTO_REDUCE_MAX_N` is tiny — bare
+popcounts are already C-speed, so the packing buys nothing).  The slab
+layout does not help here: its win comes from *sharing* one reduction
+across all 2n cofactor counts, and influence needs a fresh XOR-ed
+table per axis.
 """
 
 from __future__ import annotations
@@ -23,9 +32,20 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from repro.kernels import lanes
-from repro.kernels.prekey import supported
+from repro.kernels.prekey import supported as _prekey_supported
+from repro.kernels.wordarray import SLAB_MIN_N
 
-__all__ = ["batch_influence", "batch_sensitivity", "supported"]
+__all__ = ["BATCH_MAX_N", "batch_influence", "batch_sensitivity", "supported"]
+
+BATCH_MAX_N = SLAB_MIN_N - 1
+"""Widest tables the packed influence/sensitivity pipeline batches;
+above this the scalar loops win (see the module docstring)."""
+
+
+def supported(n: int) -> bool:
+    """Whether the packed influence pipeline covers ``n`` (byte-aligned
+    lanes at the bottom, the measured scalar crossover at the top)."""
+    return _prekey_supported(n) and n <= BATCH_MAX_N
 
 
 def _lane_counts(x: int, n: int, count: int, lb: int, total_bits: int):

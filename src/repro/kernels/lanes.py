@@ -62,13 +62,35 @@ def unpack_tables(packed: int, n: int, count: int) -> List[int]:
     ]
 
 
-def _grow(seed: int, start_width: int, total_bits: int) -> int:
-    m = seed
-    w = start_width
-    while w < total_bits:
-        m |= m << w
-        w <<= 1
-    # The last doubling can overshoot total_bits; trim so masks used in
+_family_cache: dict = {}
+"""Widest mask built so far per *family* (one family = one replication
+pattern, any total width), as ``family_key -> (built_width, mask)``.
+
+Engine buckets come in many distinct sizes, so the per-(pattern,
+total_bits) exact caches below miss constantly on ``total_bits``.  The
+family cache makes every such miss O(1)-ish: a narrower request is one
+AND off the widest mask already built, and a wider request resumes the
+doubling from it instead of restarting at the seed.  Entries are the
+untrimmed power-of-two image so the doubling can always continue."""
+
+
+def _grow(family_key, seed: int, start_width: int, total_bits: int) -> int:
+    got = _family_cache.get(family_key)
+    if got is not None and got[0] >= total_bits:
+        m = got[1]
+    else:
+        if got is not None:
+            w, m = got
+        else:
+            m = seed
+            w = start_width
+        while w < total_bits:
+            m |= m << w
+            w <<= 1
+        if len(_family_cache) >= _CACHE_LIMIT:
+            _family_cache.clear()
+        _family_cache[family_key] = (w, m)
+    # The doubling overshoots most total_bits; trim so masks used in
     # XOR/ADD position (not just AND) never widen the packed batch.
     return m & ((1 << total_bits) - 1)
 
@@ -87,7 +109,9 @@ def rep_mask(width: int, total_bits: int) -> int:
     if m is None:
         if len(_mask_cache) >= _CACHE_LIMIT:
             _mask_cache.clear()
-        m = _mask_cache[key] = _grow((1 << width) - 1, width << 1, total_bits)
+        m = _mask_cache[key] = _grow(
+            ("m", width), (1 << width) - 1, width << 1, total_bits
+        )
     return m
 
 
@@ -101,7 +125,9 @@ def rep_bit(bitpos: int, stride: int, total_bits: int) -> int:
     if m is None:
         if len(_bit_cache) >= _CACHE_LIMIT:
             _bit_cache.clear()
-        m = _bit_cache[key] = _grow(1 << bitpos, stride, total_bits)
+        m = _bit_cache[key] = _grow(
+            ("b", bitpos, stride), 1 << bitpos, stride, total_bits
+        )
     return m
 
 
@@ -119,7 +145,9 @@ def rep_const(value: int, stride: int, total_bits: int) -> int:
     if m is None:
         if len(_const_cache) >= _CACHE_LIMIT:
             _const_cache.clear()
-        m = _const_cache[key] = _grow(value, stride, total_bits)
+        m = _const_cache[key] = _grow(
+            ("c", value, stride), value, stride, total_bits
+        )
     return m
 
 
@@ -138,7 +166,7 @@ def rep_axis(n: int, i: int, total_bits: int) -> int:
         if len(_axis_cache) >= _CACHE_LIMIT:
             _axis_cache.clear()
         m = _axis_cache[key] = _grow(
-            bitops.axis_mask(n, i), lane_bits(n), total_bits
+            ("a", n, i), bitops.axis_mask(n, i), lane_bits(n), total_bits
         )
     return m
 

@@ -38,6 +38,15 @@ from repro.utils import bitops
 
 Pair = Tuple[int, int]
 
+PAIR_ROW_MAX_SIZE = 2048
+"""Largest table size (``2**n``) for which pair rows are materialized.
+A row costs O(size) tuples and is keyed by ``(size, fw)``; at small
+``n`` rows are few and heavily shared across lanes, but from ``n ~ 12``
+up nearly every lane has a distinct weight, so building rows would cost
+O(B * 2**n) tuples per cold batch and pin them in the cache forever.
+Above this bound the finishing loop builds each lane's n pairs
+directly."""
+
 _pair_rows: Dict[Tuple[int, int], List[Pair]] = {}
 _npair_rows: Dict[Tuple[int, int], List[Pair]] = {}
 
@@ -121,11 +130,84 @@ def batch_cofactor_weights(
         ]
     size = 1 << n
     w, ncw_cols, _ = _lane_columns(bits_list, n, count)
+    if size > PAIR_ROW_MAX_SIZE:
+        return [
+            tuple((m, fw - m) for m in nrow)
+            for fw, nrow in zip(w, zip(*ncw_cols))
+        ]
     out = []
     for fw, nrow in zip(w, zip(*ncw_cols)):
         pf = pair_row(size, fw)
         out.append(tuple(map(pf.__getitem__, nrow)))
     return out
+
+
+def finish_prekeys(
+    cols, bits_list: Sequence[int], n: int
+) -> Tuple[List[tuple], List[Tuple[Pair, ...]]]:
+    """Shared back half of the pre-key kernels: turn the extracted
+    ``(w, ncw_cols, min_cols)`` columns into the scalar-identical
+    ``(keys, weights)`` lists.
+
+    Both layouts (flat lanes and the slab pipeline in
+    :mod:`repro.kernels.wordarray`) produce the same columns and end
+    here.  Small tables go through the shared pair-row tables; above
+    :data:`PAIR_ROW_MAX_SIZE` each lane's pairs are built directly
+    (see the constant's docstring for why).
+    """
+    w, ncw_cols, min_cols = cols
+    size = 1 << n
+    half = size >> 1
+    use_rows = size <= PAIR_ROW_MAX_SIZE
+    keys: List[tuple] = []
+    weights: List[Tuple[Pair, ...]] = []
+    kap = keys.append
+    wap = weights.append
+    axis_masks = bitops.axis_masks(n)
+    for fw, row, nrow, bits in zip(w, zip(*min_cols), zip(*ncw_cols), bits_list):
+        pf = pair_row(size, fw) if use_rows else None
+        if use_rows:
+            wap(tuple(map(pf.__getitem__, nrow)))
+        else:
+            wap(tuple((m, fw - m) for m in nrow))
+        hf = fw >> 1
+        if (fw & 1) or hf not in row:
+            support = n
+        else:
+            support = n
+            for i, m in enumerate(row):
+                if m == hf:
+                    span = 1 << i
+                    am = axis_masks[i]
+                    if (bits & am) == ((bits >> span) & am):
+                        support -= 1
+        srow = sorted(row)
+        if fw <= half:
+            if use_rows:
+                kap((n, support, fw, tuple(map(pf.__getitem__, srow))))
+            else:
+                kap((n, support, fw, tuple((m, fw - m) for m in srow)))
+        else:
+            if use_rows:
+                kap(
+                    (
+                        n,
+                        support,
+                        size - fw,
+                        tuple(map(npair_row(size, fw).__getitem__, srow)),
+                    )
+                )
+            else:
+                d = half - fw
+                kap(
+                    (
+                        n,
+                        support,
+                        size - fw,
+                        tuple((m + d, half - m) for m in srow),
+                    )
+                )
+    return keys, weights
 
 
 def batch_prekeys(
@@ -144,41 +226,7 @@ def batch_prekeys(
         return [], []
     if not supported(n):
         return _scalar_prekeys(bits_list, n)
-    size = 1 << n
-    half = size >> 1
-    w, ncw_cols, min_cols = _lane_columns(bits_list, n, count)
-    keys: List[tuple] = []
-    weights: List[Tuple[Pair, ...]] = []
-    kap = keys.append
-    wap = weights.append
-    axis_masks = bitops.axis_masks(n)
-    for fw, row, nrow, bits in zip(w, zip(*min_cols), zip(*ncw_cols), bits_list):
-        pf = pair_row(size, fw)
-        wap(tuple(map(pf.__getitem__, nrow)))
-        hf = fw >> 1
-        if (fw & 1) or hf not in row:
-            support = n
-        else:
-            support = n
-            for i, m in enumerate(row):
-                if m == hf:
-                    span = 1 << i
-                    am = axis_masks[i]
-                    if (bits & am) == ((bits >> span) & am):
-                        support -= 1
-        srow = sorted(row)
-        if fw <= half:
-            kap((n, support, fw, tuple(map(pf.__getitem__, srow))))
-        else:
-            kap(
-                (
-                    n,
-                    support,
-                    size - fw,
-                    tuple(map(npair_row(size, fw).__getitem__, srow)),
-                )
-            )
-    return keys, weights
+    return finish_prekeys(_lane_columns(bits_list, n, count), bits_list, n)
 
 
 def supported(n: int) -> bool:

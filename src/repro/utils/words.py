@@ -1,0 +1,289 @@
+"""Word-array truth tables: the ``2**n``-bit table as a list of 64-bit words.
+
+This is the representation classical packages (ABC's ``Abc_Tt*``
+utilities, ttopt) use for large-``n`` truth tables, ported to the
+library's conventions: word ``k`` of the array holds minterms
+``[64 * k, 64 * (k + 1))``, little-endian within the word, so bit ``m &
+63`` of word ``m >> 6`` is ``f(m)`` — exactly the byte image of the
+packed bigint in :mod:`repro.utils.bitops`.  The two representations
+are therefore interconvertible with :func:`to_words` / :func:`from_words`
+without any bit shuffling, and every operation here is the word-level
+twin of a :mod:`bitops` primitive.
+
+The variable index space splits into two bands at ``LOG2W = 6``:
+
+* variables ``i < 6`` live *inside* each word — their operations are
+  masked shifts against the replicated in-word axis masks
+  (:data:`WORD_AXIS`, the ``0x5555...``/``0x3333...``/... ladder) and
+  adjacent-variable swaps are ``swapmask``-style delta-swaps;
+* variables ``i >= 6`` are *word-index bits* — their operations are
+  pure list manipulations (word swaps, half-array copies) that never
+  touch a bit.
+
+The batch kernels in :mod:`repro.kernels.wordarray` exploit the same
+split one level up (bytes inside a slab vs slab indices); this module
+is the single-table reference the differential tests pin both against.
+``n < LOG2W`` tables occupy the low ``2**n`` bits of a single word and
+every operation trims against :func:`word_mask`, so the module is total
+over the library's full ``0 <= n <= MAX_VARS`` range.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.utils import bitops
+
+WORD_BITS = 64
+"""Bits per word.  CPython has no fixed-width machine word, but 64 keeps
+the layout identical to the C packages this mirrors, makes one word =
+one ``n = 6`` truth table, and digit-aligns with the bigint image."""
+
+LOG2W = 6
+"""``log2(WORD_BITS)``: the first variable that is a word-index bit."""
+
+_FULL = (1 << WORD_BITS) - 1
+
+WORD_AXIS: Tuple[int, ...] = tuple(
+    bitops.axis_mask(LOG2W, i) for i in range(LOG2W)
+)
+"""In-word axis masks (``x_i = 0`` positions), ``0x5555...`` upward —
+the word-level slice of :func:`repro.utils.bitops.axis_mask`."""
+
+SWAP_MASK: Tuple[int, ...] = tuple(
+    ~WORD_AXIS[i] & WORD_AXIS[i + 1] & _FULL for i in range(LOG2W - 1)
+)
+"""``SWAP_MASK[i]`` selects the delta-swap pairs of the adjacent
+in-word swap ``(i, i + 1)``: positions with ``x_i = 1, x_{i+1} = 0``;
+the partner sits ``2**i`` bits higher."""
+
+
+def word_count(n: int) -> int:
+    """Words in an ``n``-variable table (min 1; ``2**(n-6)`` above)."""
+    return max(1, 1 << max(0, n - LOG2W))
+
+
+def word_mask(n: int) -> int:
+    """Live-bit mask of each word (full below ``n = 6``, all-ones above)."""
+    return _FULL if n >= LOG2W else (1 << (1 << n)) - 1
+
+
+def to_words(bits: int, n: int) -> List[int]:
+    """Split a packed bigint table into its little-endian word array."""
+    nw = word_count(n)
+    buf = bits.to_bytes(nw * 8, "little")
+    return [int.from_bytes(buf[8 * k:8 * k + 8], "little") for k in range(nw)]
+
+
+def from_words(words: Sequence[int], n: int) -> int:
+    """Rejoin a word array into the packed bigint table."""
+    if len(words) != word_count(n):
+        raise ValueError(
+            f"expected {word_count(n)} words for n={n}, got {len(words)}"
+        )
+    return int.from_bytes(
+        b"".join(w.to_bytes(8, "little") for w in words), "little"
+    )
+
+
+def weight(words: Sequence[int]) -> int:
+    """On-set size ``|f|``: summed per-word popcounts."""
+    return sum(w.bit_count() for w in words)
+
+
+def evaluate(words: Sequence[int], m: int) -> int:
+    """``f(m)``: bit ``m & 63`` of word ``m >> 6``."""
+    return (words[m >> LOG2W] >> (m & (WORD_BITS - 1))) & 1
+
+
+def bitwise_and(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    return [x & y for x, y in zip(a, b)]
+
+
+def bitwise_or(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    return [x | y for x, y in zip(a, b)]
+
+
+def bitwise_xor(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    return [x ^ y for x, y in zip(a, b)]
+
+
+def bitwise_not(words: Sequence[int], n: int) -> List[int]:
+    wm = word_mask(n)
+    return [w ^ wm for w in words]
+
+
+def cofactor(words: Sequence[int], n: int, i: int, value: int) -> List[int]:
+    """Cofactor with ``x_i`` fixed, replicated into both halves (the
+    word twin of :func:`repro.utils.bitops.restrict`)."""
+    if i < LOG2W:
+        a = WORD_AXIS[i] & word_mask(n)
+        s = 1 << i
+        if value:
+            return [(h := (w >> s) & a) | (h << s) for w in words]
+        return [(h := w & a) | (h << s) for w in words]
+    bi = i - LOG2W
+    return [words[(k & ~(1 << bi)) | (value << bi)] for k in range(len(words))]
+
+
+def cofactor_weight(words: Sequence[int], n: int, i: int, value: int) -> int:
+    """``ncw_i`` / ``pcw_i`` without materializing the cofactor (the
+    word twin of :func:`repro.utils.bitops.half_weight`)."""
+    if i < LOG2W:
+        a = WORD_AXIS[i] & word_mask(n)
+        s = 1 << i if value else 0
+        return sum(((w >> s) & a).bit_count() for w in words)
+    bi = i - LOG2W
+    return sum(
+        w.bit_count() for k, w in enumerate(words) if (k >> bi) & 1 == value
+    )
+
+
+def cofactor_weights(words: Sequence[int], n: int) -> Tuple[Tuple[int, int], ...]:
+    """``((ncw_i, pcw_i), ...)`` for every variable."""
+    return tuple(
+        (cofactor_weight(words, n, i, 0), cofactor_weight(words, n, i, 1))
+        for i in range(n)
+    )
+
+
+def flip_var(words: Sequence[int], n: int, i: int) -> List[int]:
+    """``g(x) = f(x with bit i complemented)``.
+
+    In-word: exchange the two ``2**i``-bit half-blocks by masked
+    shifts.  Word-index: swap word ``k`` with word ``k ^ 2**(i-6)`` —
+    a pure list permutation, no bit work at all.
+    """
+    if i < LOG2W:
+        a = WORD_AXIS[i] & word_mask(n)
+        s = 1 << i
+        return [((w & a) << s) | ((w >> s) & a) for w in words]
+    bit = 1 << (i - LOG2W)
+    return [words[k ^ bit] for k in range(len(words))]
+
+
+def negate_inputs(words: Sequence[int], n: int, neg_mask: int) -> List[int]:
+    """``g(x) = f(x ^ neg_mask)``: one :func:`flip_var` per set bit,
+    with all word-index flips fused into a single list permutation."""
+    out = list(words)
+    low = neg_mask & ((1 << LOG2W) - 1)
+    for i in bitops.iter_bits(low):
+        out = flip_var(out, n, i)
+    hi = neg_mask >> LOG2W
+    if hi:
+        out = [out[k ^ hi] for k in range(len(out))]
+    return out
+
+
+def swap_adjacent(words: Sequence[int], n: int, i: int) -> List[int]:
+    """Exchange variables ``i`` and ``i + 1`` — the elementary move the
+    general permutation routines reduce to.
+
+    Three regimes: both in-word (a ``swapmask`` delta-swap per word),
+    straddling the boundary (``i = 5``: the high half of each even word
+    trades places with the low half of its odd partner), both
+    word-index (swap the two middle quarters of each 4-word block).
+    """
+    if i + 1 < LOG2W:
+        m = SWAP_MASK[i] & word_mask(n)
+        s = 1 << i
+        out = []
+        for w in words:
+            t = ((w >> s) ^ w) & m
+            out.append(w ^ t ^ (t << s))
+        return out
+    if i + 1 == LOG2W:
+        # x_5 is the top in-word bit, x_6 the lowest word-index bit:
+        # minterms (x5=1, x6=0) live in the high half of even words and
+        # trade with (x5=0, x6=1) in the low half of odd words.
+        half = WORD_BITS >> 1
+        lo_mask = (1 << half) - 1
+        out = list(words)
+        for k in range(0, len(words), 2):
+            a, b = out[k], out[k + 1]
+            out[k] = (a & lo_mask) | ((b & lo_mask) << half)
+            out[k + 1] = (a >> half) | (b & ~lo_mask & _FULL)
+        return out
+    bi = i - LOG2W
+    bit = 1 << bi
+    out = list(words)
+    for k in range(len(words)):
+        if (k >> bi) & 3 == 1:  # bit bi set, bit bi+1 clear
+            kk = k + bit  # partner: bit bi clear, bit bi+1 set
+            out[k], out[kk] = out[kk], out[k]
+    return out
+
+
+def swap_vars(words: Sequence[int], n: int, i: int, j: int) -> List[int]:
+    """Exchange variables ``i`` and ``j`` (general, any bands)."""
+    if i == j:
+        return list(words)
+    if i > j:
+        i, j = j, i
+    if j < LOG2W:
+        # Both in-word: one delta-swap per word against the pair mask.
+        pm = ~WORD_AXIS[i] & WORD_AXIS[j] & word_mask(n)
+        s = (1 << j) - (1 << i)
+        out = []
+        for w in words:
+            t = ((w >> s) ^ w) & pm
+            out.append(w ^ t ^ (t << s))
+        return out
+    if i >= LOG2W:
+        # Both word-index: swap the (bit_i=1, bit_j=0) words with their
+        # (bit_i=0, bit_j=1) partners.
+        bi, bj = i - LOG2W, j - LOG2W
+        out = list(words)
+        delta = (1 << bj) - (1 << bi)
+        for k in range(len(words)):
+            if (k >> bi) & 1 and not (k >> bj) & 1:
+                kk = k + delta
+                out[k], out[kk] = out[kk], out[k]
+        return out
+    # Mixed: in-word variable i against word-index variable j.  Each
+    # word pair (lo: x_j=0, hi: x_j=1) exchanges lo's x_i=1 sub-lanes
+    # with hi's x_i=0 sub-lanes.
+    a = WORD_AXIS[i] & word_mask(n)
+    na = ~a & _FULL
+    s = 1 << i
+    bj = j - LOG2W
+    bit = 1 << bj
+    out = list(words)
+    for k in range(len(words)):
+        if (k >> bj) & 1:
+            continue
+        lo, hi = out[k], out[k | bit]
+        out[k] = (lo & a) | ((hi & a) << s)
+        out[k | bit] = (hi & na) | ((lo & na) >> s)
+    return out
+
+
+def permute_vars(words: Sequence[int], n: int, perm: Sequence[int]) -> List[int]:
+    """``g(y) = f(y[perm[0]], ..., y[perm[n-1]])`` — the word twin of
+    :func:`repro.utils.bitops.permute_vars`, decomposed into
+    :func:`swap_vars` moves by the same bookkeeping."""
+    bitops.check_permutation(perm, n)
+    out = list(words)
+    r = list(range(n))
+    for i in range(n):
+        if r[i] == perm[i]:
+            continue
+        j = r.index(perm[i], i + 1)
+        a, b = r[i], r[j]
+        out = swap_vars(out, n, a, b)
+        for k in range(i, n):
+            if r[k] == a:
+                r[k] = b
+            elif r[k] == b:
+                r[k] = a
+    return out
+
+
+def boolean_difference(words: Sequence[int], n: int, i: int) -> List[int]:
+    """``∂f/∂x_i``, replicated over both halves like the cofactors."""
+    if i < LOG2W:
+        a = WORD_AXIS[i] & word_mask(n)
+        s = 1 << i
+        return [(d := (w ^ (w >> s)) & a) | (d << s) for w in words]
+    bit = 1 << (i - LOG2W)
+    return [w ^ words[k ^ bit] for k, w in enumerate(words)]

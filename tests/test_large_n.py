@@ -1,0 +1,106 @@
+"""Large-``n`` stress paths: end-to-end classification of 14-variable
+functions through the engine, the store and the CLI.
+
+These exercise the word-array slab kernels at the widths they were
+built for (2**14-bit tables, where the flat lane layout loses to
+scalar), so they are excluded from tier-1 and run with ``--runslow``.
+"""
+
+import random
+
+import pytest
+
+from repro.boolfunc.truthtable import TruthTable
+from repro.cli import main as cli_main
+from repro.engine import ClassificationEngine, EngineOptions, classify_batch
+from repro.store import ClassStore
+
+pytestmark = pytest.mark.slow
+
+N = 14
+COUNT = 12
+
+
+def _stress_batch(rng):
+    base = [TruthTable.random(N, rng) for _ in range(COUNT)]
+    batch = list(base)
+    # npn copies force real canonicalization work, not just bucketing.
+    for t in base[:4]:
+        perm = list(range(N))
+        rng.shuffle(perm)
+        batch.append(t.permute_vars(perm).negate_inputs(rng.getrandbits(N)))
+    return base, batch
+
+
+def test_engine_classifies_random_n14_through_slab_kernels():
+    rng = random.Random(1400)
+    base, batch = _stress_batch(rng)
+    result = classify_batch(
+        batch, options=EngineOptions(kernel="words", workers=0)
+    )
+    assert result.num_classes == len(base)
+    assert result.stats.kernel_batched == len(batch)
+    scalar = classify_batch(
+        [TruthTable(t.n, t.bits) for t in batch],
+        options=EngineOptions(kernel="scalar", workers=0),
+    )
+    assert result.members == scalar.members
+
+
+def test_engine_n14_with_store_roundtrip(tmp_path):
+    rng = random.Random(1401)
+    base, batch = _stress_batch(rng)
+    store_dir = tmp_path / "classes"
+    store = ClassStore(store_dir)
+    first = ClassificationEngine(
+        EngineOptions(kernel="words", workers=0), store=store
+    ).classify(batch)
+    assert first.num_classes == len(base)
+    # A fresh store over the same directory must warm-start every class
+    # from the persisted shards (serialization is width-agnostic hex).
+    rehydrated = ClassStore(store_dir)
+    again = ClassificationEngine(
+        EngineOptions(kernel="words", workers=0), store=rehydrated
+    ).classify([TruthTable(t.n, t.bits) for t in batch])
+    assert again.num_classes == first.num_classes
+    assert set(again.members) == set(first.members)
+
+
+def test_cli_classify_random_n14_stress(capsys):
+    rc = cli_main(
+        [
+            "classify",
+            "--random",
+            str(COUNT),
+            "--n",
+            str(N),
+            "--seed",
+            "7",
+            "--kernel",
+            "words",
+            "--stats",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert f"random(n={N}, count={COUNT}, seed=7)" in out
+    assert f"{COUNT} outputs" in out
+    # Same seed, scalar kernel: identical class count.
+    rc2 = cli_main(
+        [
+            "classify",
+            "--random",
+            str(COUNT),
+            "--n",
+            str(N),
+            "--seed",
+            "7",
+            "--kernel",
+            "scalar",
+        ]
+    )
+    out2 = capsys.readouterr().out
+    assert rc2 == 0
+    assert out.splitlines()[0].split("outputs")[1] == out2.splitlines()[0].split(
+        "outputs"
+    )[1]
